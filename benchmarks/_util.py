@@ -1,0 +1,63 @@
+"""Shared helpers for the experiment benches.
+
+Every bench prints its table/series with :func:`print_table` (run pytest
+with ``-s`` to see them) and also appends it to ``benchmarks/results.txt``
+so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+_RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str = "",
+) -> None:
+    """Render an experiment table to stdout and the results file."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"\n## {title}"]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+    if note:
+        lines.append(f"note: {note}")
+    text = "\n".join(lines)
+    print(text)
+    with open(_RESULTS_PATH, "a") as fh:
+        fh.write(text + "\n")
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def measured_fpr(filt, negatives) -> float:
+    hits = sum(1 for key in negatives if filt.may_contain(key))
+    return hits / len(negatives)
+
+
+def measured_range_fpr(filt, queries, sorted_keys) -> float:
+    from bisect import bisect_left
+
+    def truly(lo, hi):
+        i = bisect_left(sorted_keys, lo)
+        return i < len(sorted_keys) and sorted_keys[i] <= hi
+
+    empty = [(lo, hi) for lo, hi in queries if not truly(lo, hi)]
+    if not empty:
+        return 0.0
+    return sum(1 for lo, hi in empty if filt.may_intersect(lo, hi)) / len(empty)

@@ -1,0 +1,87 @@
+"""F1 — FPR as a filter expands (§2.2).
+
+Paper claims checked, as a series over doublings:
+  * naive QF doubling: FPR doubles per expansion, filter dies when the
+    fingerprint bits run out;
+  * fixed-size chaining: FPR grows linearly with the chain;
+  * scalable Bloom: FPR bounded by the tightening series;
+  * taffy / InfiniFilter / Aleph: FPR stays stable throughout.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import NotExpandableError
+from repro.expandable.aleph import AlephFilter
+from repro.expandable.bentley_saxe import BentleySaxeFilter
+from repro.expandable.chaining import (
+    ChainedFilter,
+    DynamicCuckooFilter,
+    ScalableBloomFilter,
+)
+from repro.expandable.infinifilter import InfiniFilter
+from repro.expandable.naive import NaiveExpandableQuotientFilter
+from repro.expandable.taffy import TaffyCuckooFilter
+from repro.filters.xor import XorFilter
+from repro.workloads.synthetic import disjoint_key_sets
+
+from _util import measured_fpr, print_table
+
+START = 256
+DOUBLINGS = 6
+
+
+def _factories():
+    return {
+        "chained": lambda: ChainedFilter(START, 0.005, seed=13),
+        "scalable-bloom": lambda: ScalableBloomFilter(START, 0.005, seed=13),
+        "dynamic-cuckoo": lambda: DynamicCuckooFilter(START, 0.005, seed=13),
+        "naive-qf": lambda: NaiveExpandableQuotientFilter.for_capacity(START, 0.005, seed=13),
+        "taffy": lambda: TaffyCuckooFilter.for_capacity(START, 0.005, seed=13),
+        "infinifilter": lambda: InfiniFilter.for_capacity(START, 0.005, seed=13),
+        "aleph": lambda: AlephFilter.for_capacity(START, 0.005, seed=13),
+        "bentley-saxe-xor": lambda: BentleySaxeFilter(
+            lambda keys: XorFilter.build(keys, 0.005, seed=13),
+            buffer_capacity=START,
+        ),
+    }
+
+
+def test_f1_expansion_fpr(benchmark):
+    total = START * (1 << DOUBLINGS)
+    members, negatives = disjoint_key_sets(total, 10_000, seed=14)
+    rows = []
+    for name, factory in _factories().items():
+        filt = factory()
+        inserter = getattr(filt, "insert_autogrow", filt.insert)
+        series = []
+        inserted = 0
+        dead = False
+        for generation in range(DOUBLINGS + 1):
+            target = START * (1 << generation)
+            try:
+                while inserted < min(target, len(members)):
+                    inserter(members[inserted])
+                    inserted += 1
+            except NotExpandableError:
+                dead = True
+            series.append(round(measured_fpr(filt, negatives[:4000]), 5))
+            if dead:
+                series += ["DEAD"] * (DOUBLINGS - generation)
+                break
+        rows.append([name] + series)
+    print_table(
+        f"F1: FPR vs data growth (start {START}, {DOUBLINGS} doublings, eps=0.005)",
+        ["strategy"] + [f"x{1 << g}" for g in range(DOUBLINGS + 1)],
+        rows,
+        note="naive-qf FPR ~doubles per column and dies when bits run out; "
+        "chained grows ~linearly; taffy/infini/aleph stay flat",
+    )
+    filt = TaffyCuckooFilter.for_capacity(START, 0.005, seed=13)
+    sample = members[: START * 4]
+
+    def grow():
+        f = TaffyCuckooFilter.for_capacity(START, 0.005, seed=13)
+        for key in sample:
+            f.insert_autogrow(key)
+
+    benchmark(grow)

@@ -1,0 +1,74 @@
+"""F2 — query cost as a filter expands (§2.2).
+
+Paper claims checked, as a series of structures-probed-per-query:
+  * chained: O(#links) — grows linearly;
+  * scalable Bloom: O(log n) links;
+  * InfiniFilter: grows once entries go void (queries are "not constant
+    time");
+  * taffy / Aleph / naive: exactly 1 probe throughout (Aleph's §2.2
+    "constant time guarantee on all operations").
+"""
+
+from __future__ import annotations
+
+from repro.expandable.aleph import AlephFilter
+from repro.expandable.chaining import ChainedFilter, ScalableBloomFilter
+from repro.expandable.infinifilter import InfiniFilter
+from repro.expandable.taffy import TaffyCuckooFilter
+from repro.workloads.synthetic import disjoint_key_sets
+
+from _util import print_table
+
+START = 64
+DOUBLINGS = 7
+
+
+def test_f2_expansion_query_cost(benchmark):
+    total = START * (1 << DOUBLINGS)
+    members, negatives = disjoint_key_sets(total, 64, seed=15)
+    # Tiny fingerprints for InfiniFilter/Aleph so the void regime is reached
+    # within the experiment's doublings.
+    from repro.expandable.bentley_saxe import BentleySaxeFilter
+    from repro.expandable.chaining import DynamicCuckooFilter
+    from repro.filters.xor import XorFilter
+
+    filters = {
+        "chained": ChainedFilter(START, 0.01, seed=16),
+        "scalable-bloom": ScalableBloomFilter(START, 0.01, seed=16),
+        "dynamic-cuckoo": DynamicCuckooFilter(START, 0.01, seed=16),
+        "bentley-saxe-xor": BentleySaxeFilter(
+            lambda keys: XorFilter.build(keys, 0.01, seed=16), buffer_capacity=START
+        ),
+        "taffy": TaffyCuckooFilter(3, 12, seed=16),
+        "infinifilter": InfiniFilter(3, 3, seed=16),
+        "aleph": AlephFilter(3, 3, seed=16),
+    }
+    rows = []
+    for name, filt in filters.items():
+        inserter = getattr(filt, "insert_autogrow", filt.insert)
+        series = []
+        inserted = 0
+        for generation in range(DOUBLINGS + 1):
+            target = START * (1 << generation)
+            while inserted < min(target, len(members)):
+                inserter(members[inserted])
+                inserted += 1
+            series.append(filt.query_cost(negatives[0]))
+        rows.append([name] + series)
+    print_table(
+        f"F2: structures probed per query vs growth ({DOUBLINGS} doublings)",
+        ["strategy"] + [f"x{1 << g}" for g in range(DOUBLINGS + 1)],
+        rows,
+        note="chained grows linearly, scalable logarithmically; InfiniFilter "
+        "grows once voids appear; taffy/aleph stay at 1",
+    )
+    inf = InfiniFilter(3, 3, seed=16)
+    sample = members[: START * 8]
+
+    def grow():
+        f = InfiniFilter(3, 3, seed=17)
+        for key in sample:
+            f.insert_autogrow(key)
+
+    del inf
+    benchmark(grow)

@@ -1,0 +1,69 @@
+"""F5 — range filters under key/query correlation (§2.5).
+
+Paper claims checked: queries that start just above an existing key
+("correlated" workloads) destroy SuRF's filtering (FPR → ~1), while
+Grafite "exhibits a more robust performance under workloads with high
+correlations between keys and queries"; SNARF and Rosetta sit in between
+depending on gap size.  Also: training lets ARF handle a *repeating*
+workload, reproducing its Hekaton niche.
+"""
+
+from __future__ import annotations
+
+from repro.rangefilters.arf import AdaptiveRangeFilter
+from repro.rangefilters.grafite import Grafite
+from repro.rangefilters.rosetta import Rosetta
+from repro.rangefilters.snarf import SNARF
+from repro.rangefilters.surf import SuRF
+from repro.workloads.synthetic import correlated_range_queries, random_key_set
+
+from _util import measured_range_fpr, print_table
+
+KEY_BITS = 32
+UNIVERSE = 1 << KEY_BITS
+N = 1 << 13
+GAPS = (1, 16, 1024)
+RANGE_LEN = 8
+
+
+def test_f5_correlated_workload(benchmark):
+    keys = random_key_set(N, seed=61, universe=UNIVERSE)
+    filters = {
+        "surf (base)": SuRF(keys, key_bits=KEY_BITS, seed=62),
+        "surf (real8)": SuRF(keys, key_bits=KEY_BITS, real_suffix_bits=8, seed=62),
+        "rosetta": Rosetta(keys, key_bits=KEY_BITS, bits_per_key=22, n_levels=14, seed=62),
+        "snarf": SNARF(keys, key_bits=KEY_BITS, multiplier=64, seed=62),
+        "grafite": Grafite(keys, key_bits=KEY_BITS, max_range=4096, epsilon=0.02, seed=62),
+    }
+    rows = []
+    for name, filt in filters.items():
+        series = []
+        for gap in GAPS:
+            queries = correlated_range_queries(keys, 500, RANGE_LEN, gap, seed=63)
+            series.append(round(measured_range_fpr(filt, queries, keys), 4))
+        rows.append([name] + series)
+
+    # ARF: trained on the repeating correlated workload, then re-queried.
+    arf = AdaptiveRangeFilter(keys, key_bits=KEY_BITS, max_nodes=1 << 15)
+    queries = correlated_range_queries(keys, 500, RANGE_LEN, 1, seed=63)
+    from bisect import bisect_left
+
+    def truly(lo, hi):
+        i = bisect_left(keys, lo)
+        return i < len(keys) and keys[i] <= hi
+
+    arf.train([q for q in queries if not truly(*q)])
+    rows.append(
+        ["arf (trained on gap=1)", round(measured_range_fpr(arf, queries, keys), 4),
+         "-", "-"]
+    )
+    print_table(
+        f"F5: FPR under correlated queries (gap above an existing key, len={RANGE_LEN})",
+        ["filter"] + [f"gap={g}" for g in GAPS],
+        rows,
+        note="surf-base collapses at small gaps (shared prefixes); grafite "
+        "stays at ~eps at every gap; ARF handles repeats only after training",
+    )
+    grafite = filters["grafite"]
+    queries = correlated_range_queries(keys, 400, RANGE_LEN, 1, seed=64)
+    benchmark(lambda: [grafite.may_intersect(lo, hi) for lo, hi in queries])

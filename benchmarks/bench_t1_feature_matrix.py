@@ -1,0 +1,43 @@
+"""T1 — the §2 taxonomy as a feature matrix.
+
+The tutorial's central exhibit is its classification of filters
+(static / semi-dynamic / dynamic) and their feature sets.  This bench
+prints the matrix from the registry and times filter construction through
+the factory.
+"""
+
+from __future__ import annotations
+
+from repro.core.registry import FEATURE_MATRIX, make_filter
+
+from _util import print_table
+
+
+def test_t1_feature_matrix(benchmark):
+    rows = []
+    for name, f in sorted(FEATURE_MATRIX.items(), key=lambda kv: kv[1].paper_section):
+        rows.append(
+            [
+                name,
+                f.paper_section,
+                f.kind,
+                "y" if f.inserts else "",
+                "y" if f.deletes else "",
+                "y" if f.counting else "",
+                "y" if f.expandable else "",
+                "y" if f.adaptive else "",
+                "y" if f.values else "",
+                "y" if f.ranges else "",
+            ]
+        )
+    print_table(
+        "T1: filter taxonomy (paper §2)",
+        ["filter", "§", "kind", "ins", "del", "cnt", "exp", "adp", "val", "rng"],
+        rows,
+        note="matches the tutorial's static/semi-dynamic/dynamic classification",
+    )
+
+    def construct():
+        return make_filter("quotient", capacity=1024, epsilon=0.01)
+
+    benchmark(construct)

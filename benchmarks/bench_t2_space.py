@@ -1,0 +1,77 @@
+"""T2 — space per key vs the formulas quoted in §2/§2.7.
+
+Paper claims checked (bits/key at target ε):
+  Bloom 1.44·lg(1/ε);  QF lg(1/ε)+2.125 (we build the 3-bit original, so
+  +3);  cuckoo lg(1/ε)+3;  XOR 1.22·lg(1/ε);  XOR+ 1.08·lg(1/ε)+0.5;
+  ribbon 1.005·lg(1/ε)+0.008.  Shape to hold: ribbon < xor+ < xor < bloom,
+  and the fingerprint filters sit ~2-3 bits above the lower bound.
+"""
+
+from __future__ import annotations
+
+from repro.core import analysis
+from repro.filters.bloom import BloomFilter
+from repro.filters.cuckoo import CuckooFilter
+from repro.filters.quotient import QuotientFilter
+from repro.filters.ribbon import RibbonFilter
+from repro.filters.xor import XorFilter, XorPlusFilter
+
+from _util import print_table
+
+
+def _build_all(members, epsilon, seed=3):
+    """Build each filter *at its operating load* so bits/key is fair.
+
+    Bloom/XOR/ribbon size themselves exactly to n; the table-based QF and
+    cuckoo allocate power-of-two tables, so they are built at a fixed
+    geometry and filled to their conventional max load (0.9 / 0.95) —
+    the load the paper's formulas assume.
+    """
+    import math
+
+    bloom = BloomFilter(len(members), epsilon, seed=seed)
+    for key in members:
+        bloom.insert(key)
+
+    r = max(1, math.ceil(math.log2(1 / epsilon)))
+    qf = QuotientFilter(13, r, seed=seed)  # 8192 slots
+    for key in members[: qf.capacity]:
+        qf.insert(key)
+    f = max(1, math.ceil(math.log2(8 / epsilon)))
+    cf = CuckooFilter(2048, f, seed=seed)  # 8192 slots
+    cuckoo_fill = int(cf.n_slots * 0.95)
+    for key in members[:cuckoo_fill]:
+        cf.insert(key)
+
+    return {
+        "bloom": (bloom, len(bloom), analysis.bloom_bits_per_key(epsilon)),
+        "quotient": (qf, len(qf), analysis.quotient_bits_per_key(epsilon, metadata_bits=3)),
+        "cuckoo": (cf, len(cf), analysis.cuckoo_bits_per_key(epsilon)),
+        "xor": (XorFilter.build(members, epsilon, seed=seed), len(members),
+                analysis.xor_bits_per_key(epsilon)),
+        "xor+": (XorPlusFilter.build(members, epsilon, seed=seed), len(members),
+                 analysis.xor_plus_bits_per_key(epsilon)),
+        "ribbon": (RibbonFilter.build(members, epsilon, seed=seed), len(members),
+                   analysis.ribbon_bits_per_key(epsilon)),
+    }
+
+
+def test_t2_space_per_key(bench_keys, benchmark):
+    members, _ = bench_keys
+    rows = []
+    for epsilon, label in ((2**-8, "2^-8"), (2**-16, "2^-16")):
+        lower = analysis.information_lower_bound_bits_per_key(epsilon)
+        built = _build_all(members, epsilon)
+        for name, (filt, n, theory) in built.items():
+            rows.append(
+                [label, name, round(filt.size_in_bits / n, 2),
+                 round(theory, 2), round(lower, 2)]
+            )
+    print_table(
+        "T2: space (bits/key) vs paper formulas",
+        ["epsilon", "filter", "measured", "paper formula", "lower bound"],
+        rows,
+        note="measured uses logical bit accounting (DESIGN.md); construction "
+        "rounds fingerprint widths up to whole bits",
+    )
+    benchmark(lambda: XorFilter.build(members[:2048], 2**-8, seed=7))

@@ -1,0 +1,77 @@
+"""T7 — counting filters on skewed multisets (§2.6).
+
+Paper claims checked:
+  * CBF with fixed counters saturates on skew and under-counts after
+    deletes (rebuilding with wider counters restores the guarantee);
+  * d-left CBF uses ~2x less space than the CBF;
+  * spectral Bloom and CQF handle skew space-efficiently via
+    variable-length counters;
+  * CQF counter cost grows O(log count) — slots used stay tiny even for a
+    hugely repeated key.
+"""
+
+from __future__ import annotations
+
+from repro.counting.counting_bloom import CountingBloomFilter
+from repro.counting.cqf import CountingQuotientFilter
+from repro.counting.dleft import DLeftCountingFilter
+from repro.counting.spectral import SpectralBloomFilter
+from repro.workloads.synthetic import zipf_multiset
+
+from _util import print_table
+
+N_DISTINCT = 2000
+N_TOTAL = 40_000
+SKEW = 1.2
+EPSILON = 0.01
+
+
+def test_t7_counting_filters(benchmark):
+    multiset = zipf_multiset(N_DISTINCT, N_TOTAL, SKEW, seed=71)
+    hottest = max(multiset.values())
+    filters = {
+        "cbf (4-bit)": CountingBloomFilter(N_DISTINCT, EPSILON, counter_bits=4, seed=72),
+        "cbf (16-bit)": CountingBloomFilter(N_DISTINCT, EPSILON, counter_bits=16, seed=72),
+        "dleft": DLeftCountingFilter.for_capacity(N_DISTINCT, EPSILON, seed=72),
+        "spectral": SpectralBloomFilter(N_DISTINCT, EPSILON, seed=72),
+        "cqf": CountingQuotientFilter.for_capacity(N_DISTINCT, EPSILON, seed=72),
+    }
+    rows = []
+    for name, filt in filters.items():
+        for key, mult in multiset.items():
+            for _ in range(mult):
+                filt.insert(key)
+        undercounts = sum(1 for k, m in multiset.items() if filt.count(k) < m)
+        overcounts = sum(1 for k, m in multiset.items() if filt.count(k) > m)
+        saturated = getattr(filt, "saturation_events", 0)
+        rows.append(
+            [
+                name,
+                round(filt.size_in_bits / N_DISTINCT, 1),
+                undercounts,
+                overcounts,
+                saturated,
+            ]
+        )
+    print_table(
+        f"T7: counting filters (Zipf {SKEW}: {N_DISTINCT} keys, {N_TOTAL} "
+        f"inserts, hottest={hottest})",
+        ["filter", "bits/distinct", "undercounts", "overcounts", "saturations"],
+        rows,
+        note="4-bit CBF saturates (undercounts); wider counters fix it at 4x "
+        "space; spectral/cqf pay ~log(count) bits only where needed",
+    )
+
+    # CQF log-cost detail: one key inserted 100k times.
+    cqf = CountingQuotientFilter.for_capacity(64, EPSILON, seed=73)
+    for _ in range(100_000):
+        cqf.insert("hot")
+    print_table(
+        "T7b: CQF variable-length counter",
+        ["count", "slots used", "counter bits"],
+        [[100_000, cqf.slots_used, cqf.used_bits]],
+        note="O(log c) slots for c occurrences (paper: asymptotically optimal)",
+    )
+    sample = list(multiset)[:500]
+    cqf2 = filters["cqf"]
+    benchmark(lambda: [cqf2.count(k) for k in sample])

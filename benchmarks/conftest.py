@@ -1,0 +1,19 @@
+"""Bench-suite fixtures: shared key sets sized for experiment fidelity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.synthetic import disjoint_key_sets
+
+
+@pytest.fixture(scope="session")
+def bench_keys():
+    """2^14 member keys + 20k negatives (the T2/T3/T4 workload)."""
+    return disjoint_key_sets(1 << 14, 20_000, seed=2024)
+
+
+@pytest.fixture(scope="session")
+def small_bench_keys():
+    """2^12 member keys + 10k negatives for the heavier structures."""
+    return disjoint_key_sets(1 << 12, 10_000, seed=2025)

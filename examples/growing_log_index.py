@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Expandable-maplet case study (§2.2 + §3.1): a circular-log store.
+
+A FASTER-style append-only log with an in-memory maplet index.  The data
+outgrows the initial index many times over; the maplet expands in place
+(no access to the original keys), absorbs updates and deletes, and keeps
+lookups at ~1 device read.  Also contrasts the §2.2 expansion strategies
+on the same growth curve.
+
+Run:  python examples/growing_log_index.py
+"""
+
+from repro.apps.circlog import CircularLogStore
+from repro.expandable.aleph import AlephFilter
+from repro.expandable.chaining import ChainedFilter, ScalableBloomFilter
+from repro.expandable.infinifilter import InfiniFilter
+from repro.expandable.naive import NaiveExpandableQuotientFilter
+from repro.expandable.taffy import TaffyCuckooFilter
+from repro.workloads.synthetic import disjoint_key_sets
+
+
+def circular_log_demo() -> None:
+    print("=== circular log with an expandable maplet index ===")
+    store = CircularLogStore(initial_capacity=64, epsilon=0.01,
+                             segment_records=512, seed=1)
+    for i in range(4_000):
+        store.put(f"user:{i % 1_000}", {"version": i})  # heavy overwrites
+    print(f"  {store.stats.appends} appends -> {store.live_records} live keys, "
+          f"{store.log_records} log records")
+    relocated = store.gc()
+    print(f"  GC pass relocated {relocated} live records from the oldest segment")
+    store.stats.lookups = store.stats.lookup_ios = 0
+    for i in range(1_000):
+        assert store.get(f"user:{i}") is not None
+    print(f"  lookups cost {store.stats.lookup_ios / store.stats.lookups:.2f} "
+          f"device reads each; index at "
+          f"{store.index_bits_per_key:.1f} bits/key after expansion\n")
+
+
+def expansion_strategies() -> None:
+    print("=== §2.2 expansion strategies on the same 60x growth ===")
+    members, negatives = disjoint_key_sets(8_000, 20_000, seed=2)
+    strategies = {
+        "chained (fixed links)": ChainedFilter(128, 0.01, seed=3),
+        "scalable bloom": ScalableBloomFilter(128, 0.01, seed=3),
+        "naive QF doubling": NaiveExpandableQuotientFilter.for_capacity(128, 0.01, seed=3),
+        "taffy cuckoo": TaffyCuckooFilter.for_capacity(128, 0.01, seed=3),
+        "infinifilter": InfiniFilter.for_capacity(128, 0.01, seed=3),
+        "aleph": AlephFilter.for_capacity(128, 0.01, seed=3),
+    }
+    print(f"{'strategy':24s} {'FPR after growth':>17s} {'query cost':>11s}")
+    for name, filt in strategies.items():
+        for key in members:
+            filt.insert_autogrow(key)
+        fpr = sum(filt.may_contain(k) for k in negatives) / len(negatives)
+        cost = filt.query_cost("some-negative-probe")
+        print(f"{name:24s} {fpr:>17.5f} {cost:>11d}")
+    print("\nThe naive doubling burned a fingerprint bit per doubling (FPR")
+    print("doubles each time); the chain answers through every link; the")
+    print("modern designs keep both the FPR and the probe count flat.")
+
+
+def main() -> None:
+    circular_log_demo()
+    expansion_strategies()
+
+
+if __name__ == "__main__":
+    main()

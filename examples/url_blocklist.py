@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Networking / cybersecurity case study (§3.3): malicious-URL blocking.
+
+A router keeps the malicious-URL yes list in a filter.  Benign traffic is
+Zipf-skewed, so any popular benign URL that happens to false-positive gets
+penalised over and over.  Compares the tutorial's three designs:
+
+* plain filter           — hot FPs pay the verification penalty forever;
+* static no list         — protected URLs must be known in advance;
+* adaptive filter        — the no list builds itself from live traffic.
+
+Run:  python examples/url_blocklist.py
+"""
+
+from repro.apps.blocklist import AdaptiveBlocklist, Blocklist, StaticNoListBlocklist
+from repro.workloads.urls import split_malicious, url_query_stream, url_universe
+
+N_URLS = 4_000
+N_REQUESTS = 50_000
+
+
+def main() -> None:
+    urls = url_universe(N_URLS, seed=1)
+    malicious, benign = split_malicious(urls, malicious_fraction=0.2, seed=2)
+    stream = url_query_stream(
+        benign, malicious, N_REQUESTS, malicious_rate=0.05, skew=1.2, seed=3
+    )
+    n_malicious_requests = sum(1 for _, bad in stream if bad)
+    print(f"{len(malicious)} malicious URLs; {N_REQUESTS} requests "
+          f"({n_malicious_requests} malicious), Zipf-skewed benign traffic\n")
+
+    designs = {
+        "plain filter": Blocklist(malicious, epsilon=0.02, seed=4),
+        "static no list (top-300)": StaticNoListBlocklist(
+            malicious, benign[:300], epsilon=0.02, seed=4
+        ),
+        "adaptive filter": AdaptiveBlocklist(malicious, epsilon=0.02, seed=4),
+    }
+    print(f"{'design':26s} {'blocked':>8s} {'missed':>7s} {'false blocks':>13s} "
+          f"{'fb rate':>9s} {'verifications':>14s}")
+    for name, blocklist in designs.items():
+        for url, is_malicious in stream:
+            blocklist.handle(url, is_malicious)
+        s = blocklist.stats
+        print(f"{name:26s} {s.blocked_malicious:>8d} {s.missed_malicious:>7d} "
+              f"{s.false_blocks:>13d} {s.false_block_rate:>9.5f} "
+              f"{s.verifications:>14d}")
+
+    print("\nEvery design blocks all malicious URLs (filters have no false")
+    print("negatives).  The adaptive filter converges to ~zero false blocks")
+    print("without knowing the protected URLs in advance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""beyondbloom — feature-rich filter data structures and their applications.
+
+A reproduction of "Beyond Bloom: A Tutorial on Future Feature-Rich Filters"
+(SIGMOD-Companion 2024): every filter family the tutorial surveys (point,
+counting, expandable, adaptive, maplets, range, learned) plus the storage,
+biology and networking applications it describes.
+
+Quickstart
+----------
+>>> from repro import make_filter
+>>> f = make_filter("quotient", capacity=1000, epsilon=0.01)
+>>> f.insert("hello")
+>>> "hello" in f
+True
+>>> f.delete("hello")
+>>> "hello" in f
+False
+"""
+
+from repro.core import (
+    FEATURE_MATRIX,
+    AdaptiveFilter,
+    CountingFilter,
+    DynamicFilter,
+    ExpandableFilter,
+    Filter,
+    FilterError,
+    FilterFullError,
+    Maplet,
+    RangeFilter,
+    StaticFilter,
+    available_filters,
+    make_filter,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveFilter",
+    "CountingFilter",
+    "DynamicFilter",
+    "ExpandableFilter",
+    "FEATURE_MATRIX",
+    "Filter",
+    "FilterError",
+    "FilterFullError",
+    "Maplet",
+    "RangeFilter",
+    "StaticFilter",
+    "__version__",
+    "available_filters",
+    "make_filter",
+]

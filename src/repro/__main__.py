@@ -1,0 +1,106 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+list
+    Print the filter taxonomy (the paper's §2 feature matrix).
+space --epsilon E [--n N]
+    Print the space calculator: bits/key per filter family at the target
+    FPR, against the information lower bound (the §2/§2.7 formulas).
+monkey --levels n1,n2,... --bits-per-key B
+    Print Monkey's optimal per-level FPR allocation vs uniform (§3.1).
+
+(For end-to-end demonstrations, run the scripts in ``examples/``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+
+def _cmd_list(_args) -> int:
+    from repro.core.registry import FEATURE_MATRIX
+
+    header = f"{'filter':20s} {'§':6s} {'kind':13s} features"
+    print(header)
+    print("-" * len(header))
+    for name, f in sorted(FEATURE_MATRIX.items(), key=lambda kv: kv[1].paper_section):
+        flags = [
+            label
+            for label, on in [
+                ("inserts", f.inserts), ("deletes", f.deletes),
+                ("counting", f.counting), ("expandable", f.expandable),
+                ("adaptive", f.adaptive), ("values", f.values),
+                ("ranges", f.ranges),
+            ]
+            if on
+        ]
+        print(f"{name:20s} {f.paper_section:6s} {f.kind:13s} {', '.join(flags)}")
+    return 0
+
+
+def _cmd_space(args) -> int:
+    from repro.core import analysis
+
+    eps = args.epsilon
+    rows = [
+        ("information lower bound", analysis.information_lower_bound_bits_per_key(eps)),
+        ("ribbon", analysis.ribbon_bits_per_key(eps)),
+        ("xor+", analysis.xor_plus_bits_per_key(eps)),
+        ("xor", analysis.xor_bits_per_key(eps)),
+        ("quotient (CQF metadata)", analysis.quotient_bits_per_key(eps)),
+        ("cuckoo", analysis.cuckoo_bits_per_key(eps)),
+        ("bloom", analysis.bloom_bits_per_key(eps)),
+    ]
+    print(f"bits per key at epsilon = {eps}:")
+    for name, bits in rows:
+        total = f"  ({bits * args.n / 8 / 1024:.1f} KiB for n={args.n})" if args.n else ""
+        print(f"  {name:26s} {bits:7.3f}{total}")
+    return 0
+
+
+def _cmd_monkey(args) -> int:
+    from repro.core.analysis import monkey_allocation, uniform_allocation
+
+    levels = [int(x) for x in args.levels.split(",")]
+    budget = args.bits_per_key * sum(levels)
+    monkey = monkey_allocation(levels, budget)
+    uniform = uniform_allocation(levels, budget)
+    print(f"levels: {levels}; total budget {budget:.0f} bits "
+          f"({args.bits_per_key} bits/key)")
+    print(f"{'level entries':>14s} {'monkey FPR':>12s} {'uniform FPR':>12s}")
+    for n, pm, pu in zip(levels, monkey, uniform):
+        print(f"{n:>14d} {pm:>12.2e} {pu:>12.2e}")
+    print(f"{'sum of FPRs':>14s} {sum(monkey):>12.4f} {sum(uniform):>12.4f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="print the filter taxonomy")
+
+    p_space = sub.add_parser("space", help="space calculator")
+    p_space.add_argument("--epsilon", type=float, default=0.01)
+    p_space.add_argument("--n", type=int, default=0, help="optional key count")
+
+    p_monkey = sub.add_parser("monkey", help="Monkey FPR allocation")
+    p_monkey.add_argument("--levels", type=str, default="100,1000,10000,100000")
+    p_monkey.add_argument("--bits-per-key", type=float, default=8.0)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "space":
+        if not 0 < args.epsilon < 1:
+            parser.error("--epsilon must be in (0, 1)")
+        return _cmd_space(args)
+    if args.command == "monkey":
+        return _cmd_monkey(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Adaptive filters (§2.3): fix false positives as they are discovered.
+
+An adaptive filter answers every negative query falsely with probability at
+most ε *regardless of history* — even against an adversary that replays
+discovered false positives (Bender et al.'s broom-filter guarantee).  The
+host dictionary reports each confirmed false positive back to the filter,
+which updates its representation so the same error does not repeat.
+
+All three filters here keep a *remote representation* (the original keys,
+conceptually co-located with the on-disk dictionary) to recompute stored
+fingerprints; it is excluded from ``size_in_bits`` exactly as the papers
+exclude it from the in-memory budget.
+"""
+
+from repro.adaptive.adaptive_cuckoo import AdaptiveCuckooFilter
+from repro.adaptive.adaptive_quotient import AdaptiveQuotientFilter
+from repro.adaptive.dictionary import FilteredDictionary
+from repro.adaptive.seesaw import SeesawCountingFilter
+from repro.adaptive.telescoping import TelescopingFilter
+
+__all__ = [
+    "AdaptiveCuckooFilter",
+    "AdaptiveQuotientFilter",
+    "FilteredDictionary",
+    "SeesawCountingFilter",
+    "TelescopingFilter",
+]

@@ -1,0 +1,152 @@
+"""Adaptive quotient filter (Wen et al. 2025; broom filter of Bender et al.).
+
+Adapts by *extending fingerprints*: when a negative key is discovered to
+collide with a stored fingerprint, the stored entry's fingerprint grows by
+enough extra hash bits (fetched via the remote representation) to separate
+the two.  Extensions only ever lengthen fingerprints, which is what makes
+the filter **monotonically adaptive**: the FPR guarantee holds for every
+query independent of history, even against an adversary — and, unlike the
+selector-swapping designs, adapting to one key can never re-expose a
+previously fixed key.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.hashing import hash64, hash_to_range
+from repro.common.varint import elias_gamma_bits
+from repro.core.errors import DeletionError, FilterFullError
+from repro.core.interfaces import AdaptiveFilter, Key
+
+DEFAULT_BUCKET_CELLS = 8
+_MAX_EXTENSION = 48
+
+
+class _Slot:
+    __slots__ = ("length", "value", "key")
+
+    def __init__(self, length: int, value: int, key: Key):
+        self.length = length
+        self.value = value
+        self.key = key  # remote representation
+
+
+class AdaptiveQuotientFilter(AdaptiveFilter):
+    """Fingerprint-extending, monotonically adaptive filter."""
+
+    supports_deletes = True
+
+    def __init__(
+        self,
+        n_buckets: int,
+        fingerprint_bits: int,
+        *,
+        bucket_cells: int = DEFAULT_BUCKET_CELLS,
+        seed: int = 0,
+    ):
+        if n_buckets < 1:
+            raise ValueError("n_buckets must be positive")
+        if not 1 <= fingerprint_bits <= 40:
+            raise ValueError("fingerprint_bits must be in [1, 40]")
+        self.n_buckets = n_buckets
+        self.base_bits = fingerprint_bits
+        self.bucket_cells = bucket_cells
+        self.seed = seed
+        self._buckets: list[list[_Slot]] = [[] for _ in range(n_buckets)]
+        self._n = 0
+        self.adaptations = 0
+
+    def _bucket_of(self, key: Key) -> int:
+        return hash_to_range(key, self.n_buckets, self.seed ^ 0xA0F)
+
+    def _hash_bits(self, key: Key, length: int) -> int:
+        """The first *length* fingerprint bits of *key* (from a 64-bit pool)."""
+        if length == 0:
+            return 0
+        h = hash64(key, self.seed ^ 0xBEEF)
+        return h >> (64 - length)
+
+    @property
+    def capacity(self) -> int:
+        return int(self.n_buckets * self.bucket_cells * 0.85)
+
+    def insert(self, key: Key) -> None:
+        # Buckets are logically unbounded (the physical QF layout shifts
+        # overflow into neighbouring slots); only the global load is capped.
+        if self._n >= self.capacity:
+            raise FilterFullError("adaptive quotient filter at max load")
+        bucket = self._buckets[self._bucket_of(key)]
+        bucket.append(_Slot(self.base_bits, self._hash_bits(key, self.base_bits), key))
+        self._n += 1
+
+    def _matches(self, slot: _Slot, key: Key) -> bool:
+        return slot.value == self._hash_bits(key, slot.length)
+
+    def may_contain(self, key: Key) -> bool:
+        bucket = self._buckets[self._bucket_of(key)]
+        return any(self._matches(slot, key) for slot in bucket)
+
+    def delete(self, key: Key) -> None:
+        bucket = self._buckets[self._bucket_of(key)]
+        for pos, slot in enumerate(bucket):
+            if self._matches(slot, key):
+                bucket.pop(pos)
+                self._n -= 1
+                return
+        raise DeletionError("delete of a key that was never inserted")
+
+    def report_false_positive(self, key: Key) -> None:
+        """Extend every colliding fingerprint until *key* stops matching.
+
+        The extension bits come from the resident's own hash (recomputed
+        from the remote representation), so residents remain represented
+        exactly; only the collision with *key* is severed.
+        """
+        bucket = self._buckets[self._bucket_of(key)]
+        for slot in bucket:
+            adapted = False
+            while self._matches(slot, key) and slot.length < _MAX_EXTENSION:
+                slot.length += 1
+                slot.value = self._hash_bits(slot.key, slot.length)
+                adapted = True
+            if adapted:
+                self.adaptations += 1
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def size_in_bits(self) -> int:
+        """Base fingerprint slots + gamma-coded extension lengths."""
+        extension_bits = sum(
+            (slot.length - self.base_bits)
+            + elias_gamma_bits(slot.length - self.base_bits + 1)
+            for bucket in self._buckets
+            for slot in bucket
+        )
+        return (
+            self.n_buckets * self.bucket_cells * self.base_bits + extension_bits
+        )
+
+    @property
+    def adaptivity_bits(self) -> int:
+        """Total extension bits currently carried (the broom-filter budget)."""
+        return sum(
+            slot.length - self.base_bits
+            for bucket in self._buckets
+            for slot in bucket
+        )
+
+    @classmethod
+    def for_capacity(
+        cls, capacity: int, epsilon: float, *, seed: int = 0
+    ) -> "AdaptiveQuotientFilter":
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        cells = DEFAULT_BUCKET_CELLS
+        n_buckets = max(1, math.ceil(capacity / (0.85 * cells)))
+        f = max(1, math.ceil(math.log2(cells / epsilon)))
+        return cls(n_buckets, f, seed=seed)

@@ -1,0 +1,83 @@
+"""The dictionary problem harness: filter + backing store + I/O accounting.
+
+§2.3 frames adaptivity in the *dictionary* setting: a filter guards an
+on-disk key/value store, every positive filter answer costs a device read,
+and a false positive costs a wasted read.  This class wires any filter to a
+simulated :class:`~repro.common.storage.BlockDevice`, confirms false
+positives against the ground truth, and — when the filter is adaptive —
+feeds them back via ``report_false_positive``.
+
+Experiments T5/F3 measure exactly the quantity the tutorial highlights:
+the number of wasted negative-lookup I/Os under adversarial and Zipfian
+query streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.storage import BlockDevice
+from repro.core.interfaces import AdaptiveFilter, Key
+
+
+@dataclass
+class DictionaryStats:
+    queries: int = 0
+    positive_hits: int = 0
+    false_positives: int = 0
+    disk_reads: int = 0
+    adaptations_fed_back: int = 0
+
+    @property
+    def wasted_read_rate(self) -> float:
+        """False-positive disk reads per query — the §2.3 cost metric."""
+        return self.false_positives / self.queries if self.queries else 0.0
+
+
+class FilteredDictionary:
+    """A key/value dictionary guarded by a (possibly adaptive) filter."""
+
+    def __init__(self, filt, *, device: BlockDevice | None = None):
+        self._filter = filt
+        self._device = device if device is not None else BlockDevice()
+        self._adaptive = isinstance(filt, AdaptiveFilter)
+        self.stats = DictionaryStats()
+
+    @property
+    def filter(self):
+        return self._filter
+
+    @property
+    def device(self) -> BlockDevice:
+        return self._device
+
+    def put(self, key: Key, value: Any) -> None:
+        self._filter.insert(key)
+        self._device.write(("kv", key), value, size=64)
+
+    def remove(self, key: Key) -> None:
+        self._device.delete(("kv", key))
+        self._filter.delete(key)
+
+    def get(self, key: Key, default: Any = None) -> Any:
+        """Point lookup.  Disk is touched only when the filter says maybe."""
+        self.stats.queries += 1
+        if not self._filter.may_contain(key):
+            return default
+        self.stats.disk_reads += 1
+        if self._device.exists(("kv", key)):
+            self.stats.positive_hits += 1
+            return self._device.read(("kv", key))
+        # Confirmed false positive: this is the moment the paper's adaptive
+        # loop closes — the expensive read already happened, so reporting
+        # back to the filter is free.
+        self.stats.false_positives += 1
+        if self._adaptive:
+            self._filter.report_false_positive(key)
+            self.stats.adaptations_fed_back += 1
+        return default
+
+    def __contains__(self, key: Key) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel

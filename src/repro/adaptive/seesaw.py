@@ -1,0 +1,89 @@
+"""Seesaw counting filter (Li et al. 2022, WWW) — simplified reproduction.
+
+The yes/no-list filter of §3.3: every slot carries a *yes* counter (raised
+by malicious / yes-list keys) and a *no* counter (raised to protect
+vulnerable negative keys).  A key matches only where its yes counters
+strictly outweigh the no counters at all of its positions — the "seesaw".
+
+The tutorial's critique is reproduced faithfully: protecting a negative key
+raises no-counters on positions that yes-list keys may share, so the
+dynamic extension "is not guaranteed to prevent false positives ... and can
+also introduce false negatives".  :meth:`false_negatives` measures exactly
+that damage.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.common.hashing import hash_pair
+from repro.core.analysis import bloom_optimal_hashes
+from repro.core.interfaces import Filter, Key
+
+
+class SeesawCountingFilter(Filter):
+    """Two-sided counting filter implementing a yes list with a no list."""
+
+    def __init__(
+        self,
+        yes_list: Iterable[Key],
+        no_list: Iterable[Key] = (),
+        *,
+        epsilon: float = 0.01,
+        seed: int = 0,
+    ):
+        members = list(yes_list)
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        self.seed = seed
+        bits_per_key = math.log2(math.e) * math.log2(1 / epsilon)
+        self._m = max(64, int(math.ceil(max(1, len(members)) * bits_per_key)))
+        self._k = bloom_optimal_hashes(bits_per_key)
+        self._yes = [0] * self._m
+        self._no = [0] * self._m
+        self._n = len(members)
+        self.protections = 0
+        for key in members:
+            for pos in self._positions(key):
+                self._yes[pos] += 1
+        for key in no_list:
+            self.protect(key)
+
+    def _positions(self, key: Key) -> list[int]:
+        h1, h2 = hash_pair(key, self.seed ^ 0x5E5A)
+        h2 |= 1
+        return [(h1 + i * h2) % self._m for i in range(self._k)]
+
+    def may_contain(self, key: Key) -> bool:
+        return all(
+            self._yes[pos] > self._no[pos] for pos in self._positions(key)
+        )
+
+    def protect(self, key: Key) -> None:
+        """Add *key* to the no list: seesaw its weakest position down.
+
+        Raises the no counter where the yes side is weakest (least
+        collateral), just enough to stop *key* matching.  Any yes-list key
+        sharing that position with an equally weak yes side becomes a
+        false negative — the documented risk of the dynamic extension.
+        """
+        positions = self._positions(key)
+        if not self.may_contain(key):
+            return  # already a negative
+        self.protections += 1
+        weakest = min(positions, key=lambda p: self._yes[p] - self._no[p])
+        self._no[weakest] = self._yes[weakest]
+
+    def false_negatives(self, yes_list: Iterable[Key]) -> list[Key]:
+        """Yes-list keys the filter now wrongly rejects (must be checked
+        against the original list — the filter itself cannot know)."""
+        return [key for key in yes_list if not self.may_contain(key)]
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def size_in_bits(self) -> int:
+        # Two 4-bit counters per slot (the SSCF's paired layout).
+        return self._m * 8

@@ -1,0 +1,137 @@
+"""Telescoping adaptive filter (Lee, McCauley, Singh & Stein 2021, ESA).
+
+Like the adaptive cuckoo filter, the telescoping filter remaps a slot's
+fingerprint when a false positive is discovered — but instead of a
+fixed-width selector it stores a *variable-length* adaptivity code per
+slot, so un-adapted slots (the overwhelming majority) pay ~0 extra bits and
+a slot that has adapted k times pays O(log k) bits.  This is the trick that
+lets it adapt indefinitely within a near-optimal space budget.
+
+``size_in_bits`` therefore charges the Elias-gamma cost of each slot's
+selector on top of the fingerprints — the accounting the paper's space
+claim rests on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.hashing import fingerprint, hash_to_range
+from repro.common.varint import elias_gamma_bits
+from repro.core.errors import DeletionError, FilterFullError
+from repro.core.interfaces import AdaptiveFilter, Key
+
+DEFAULT_BUCKET_CELLS = 8
+
+
+class _Slot:
+    __slots__ = ("fp", "selector", "key")
+
+    def __init__(self, fp: int, selector: int, key: Key):
+        self.fp = fp
+        self.selector = selector
+        self.key = key  # remote representation
+
+
+class TelescopingFilter(AdaptiveFilter):
+    """Single-table filter with variable-length per-slot hash selectors."""
+
+    supports_deletes = True
+
+    def __init__(
+        self,
+        n_buckets: int,
+        fingerprint_bits: int,
+        *,
+        bucket_cells: int = DEFAULT_BUCKET_CELLS,
+        seed: int = 0,
+    ):
+        if n_buckets < 1:
+            raise ValueError("n_buckets must be positive")
+        if not 1 <= fingerprint_bits <= 56:
+            raise ValueError("fingerprint_bits must be in [1, 56]")
+        self.n_buckets = n_buckets
+        self.fingerprint_bits = fingerprint_bits
+        self.bucket_cells = bucket_cells
+        self.seed = seed
+        self._buckets: list[list[_Slot]] = [[] for _ in range(n_buckets)]
+        self._n = 0
+        self.adaptations = 0
+
+    def _bucket_of(self, key: Key) -> int:
+        return hash_to_range(key, self.n_buckets, self.seed ^ 0x7E1E)
+
+    def _fp(self, key: Key, selector: int) -> int:
+        return fingerprint(
+            key, self.fingerprint_bits, self.seed ^ 0x5C0 ^ (selector * 0x9E37)
+        )
+
+    @property
+    def capacity(self) -> int:
+        return int(self.n_buckets * self.bucket_cells * 0.85)
+
+    def insert(self, key: Key) -> None:
+        # Buckets are logically unbounded (the physical QF layout shifts
+        # overflow into neighbouring slots); only the global load is capped.
+        if self._n >= self.capacity:
+            raise FilterFullError("telescoping filter at max load")
+        bucket = self._buckets[self._bucket_of(key)]
+        bucket.append(_Slot(self._fp(key, 0), 0, key))
+        self._n += 1
+
+    def may_contain(self, key: Key) -> bool:
+        bucket = self._buckets[self._bucket_of(key)]
+        return any(slot.fp == self._fp(key, slot.selector) for slot in bucket)
+
+    def delete(self, key: Key) -> None:
+        bucket = self._buckets[self._bucket_of(key)]
+        for pos, slot in enumerate(bucket):
+            if slot.fp == self._fp(key, slot.selector):
+                bucket.pop(pos)
+                self._n -= 1
+                return
+        raise DeletionError("delete of a key that was never inserted")
+
+    def report_false_positive(self, key: Key) -> None:
+        """Telescope every matching slot to its next hash selector."""
+        bucket = self._buckets[self._bucket_of(key)]
+        for slot in bucket:
+            if slot.fp == self._fp(key, slot.selector):
+                slot.selector += 1  # unbounded: the code is variable-length
+                slot.fp = self._fp(slot.key, slot.selector)
+                self.adaptations += 1
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def size_in_bits(self) -> int:
+        """Fingerprints + gamma-coded selectors (keys are remote)."""
+        selector_bits = sum(
+            elias_gamma_bits(slot.selector + 1)
+            for bucket in self._buckets
+            for slot in bucket
+        )
+        return self.n_buckets * self.bucket_cells * self.fingerprint_bits + selector_bits
+
+    @property
+    def adaptivity_bits(self) -> int:
+        """Extra bits currently spent on selectors above the 1-bit floor."""
+        return sum(
+            elias_gamma_bits(slot.selector + 1) - 1
+            for bucket in self._buckets
+            for slot in bucket
+        )
+
+    @classmethod
+    def for_capacity(
+        cls, capacity: int, epsilon: float, *, seed: int = 0
+    ) -> "TelescopingFilter":
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        cells = DEFAULT_BUCKET_CELLS
+        n_buckets = max(1, math.ceil(capacity / (0.85 * cells)))
+        f = max(1, math.ceil(math.log2(cells / epsilon)))
+        return cls(n_buckets, f, seed=seed)

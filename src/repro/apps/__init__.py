@@ -1,0 +1,34 @@
+"""Applications of feature-rich filters (§3): storage, biology, networking."""
+
+from repro.apps.blocklist import AdaptiveBlocklist, Blocklist, StaticNoListBlocklist
+from repro.apps.circlog import CircularLogStore
+from repro.apps.external_counter import ExternalQuotientCounter
+from repro.apps.debruijn import (
+    CascadingBloomDeBruijn,
+    FilterBackedDeBruijn,
+    WeightedDeBruijn,
+)
+from repro.apps.joins import filtered_join, unfiltered_join
+from repro.apps.kmers import KmerCounter
+from repro.apps.lsm import LSMConfig, LSMTree
+from repro.apps.mantis import IncrementalMantis, MantisIndex
+from repro.apps.sbt import SequenceBloomTree
+
+__all__ = [
+    "AdaptiveBlocklist",
+    "Blocklist",
+    "CascadingBloomDeBruijn",
+    "CircularLogStore",
+    "ExternalQuotientCounter",
+    "IncrementalMantis",
+    "FilterBackedDeBruijn",
+    "KmerCounter",
+    "LSMConfig",
+    "LSMTree",
+    "MantisIndex",
+    "SequenceBloomTree",
+    "StaticNoListBlocklist",
+    "WeightedDeBruijn",
+    "filtered_join",
+    "unfiltered_join",
+]

@@ -1,0 +1,136 @@
+"""Malicious-URL blocking with yes/no lists (§3.3).
+
+A router stores malicious URLs as a filter's *yes list*; every false
+positive blocks (or detours through verification) an innocent site — and
+because benign traffic is heavily skewed, one popular false positive gets
+hit over and over.  Three designs from the tutorial:
+
+* :class:`Blocklist` — plain filter; hot benign FPs pay the penalty forever.
+* :class:`StaticNoListBlocklist` — a *no list* of known-important benign
+  URLs is checked first (the Bloomier/Integrated-filter approach: the no
+  list must be known in advance).
+* :class:`AdaptiveBlocklist` — an adaptive filter discovers and fixes FPs
+  dynamically (Wen et al.: adaptive filters solve both the static and the
+  dynamic yes/no-list problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+from repro.adaptive.adaptive_quotient import AdaptiveQuotientFilter
+from repro.core.interfaces import AdaptiveFilter
+from repro.filters.bloom import BloomFilter
+
+
+@dataclass
+class BlockStats:
+    requests: int = 0
+    blocked_malicious: int = 0
+    missed_malicious: int = 0  # must stay 0: filters have no false negatives
+    false_blocks: int = 0  # benign requests wrongly sent to verification
+    verifications: int = 0
+
+    @property
+    def false_block_rate(self) -> float:
+        return self.false_blocks / self.requests if self.requests else 0.0
+
+
+class Blocklist:
+    """Plain yes-list blocking: filter hit → expensive URL verification."""
+
+    def __init__(self, malicious: Iterable[str], *, epsilon: float = 0.01, seed: int = 0):
+        urls = list(malicious)
+        self._filter = BloomFilter(max(1, len(urls)), epsilon, seed=seed)
+        for url in urls:
+            self._filter.insert(url)
+        self._truth = set(urls)
+        self.stats = BlockStats()
+
+    def _verify(self, url: str) -> bool:
+        """The expensive ground-truth check (remote reputation service)."""
+        self.stats.verifications += 1
+        return url in self._truth
+
+    def handle(self, url: str, is_malicious: bool) -> bool:
+        """Process a request; returns True when the URL is blocked."""
+        self.stats.requests += 1
+        if not self._filter.may_contain(url):
+            if is_malicious:
+                self.stats.missed_malicious += 1
+            return False
+        if self._verify(url):
+            self.stats.blocked_malicious += 1
+            return True
+        self.stats.false_blocks += 1
+        self._on_false_positive(url)
+        return False
+
+    def _on_false_positive(self, url: str) -> None:
+        """Hook for subclasses; the plain blocklist learns nothing."""
+
+    @property
+    def size_in_bits(self) -> int:
+        return self._filter.size_in_bits
+
+
+class StaticNoListBlocklist(Blocklist):
+    """Yes list + a static no list of protected benign URLs.
+
+    URLs on the no list bypass the filter entirely, so they can never be
+    false-blocked — but the list must be known ahead of time, and anything
+    off-list still pays for its false positives (the SSCF/Integrated-filter
+    limitation the tutorial points out).
+    """
+
+    def __init__(
+        self,
+        malicious: Iterable[str],
+        no_list: Iterable[str],
+        *,
+        epsilon: float = 0.01,
+        seed: int = 0,
+    ):
+        super().__init__(malicious, epsilon=epsilon, seed=seed)
+        self._no_list = set(no_list)
+        overlap = self._no_list & self._truth
+        if overlap:
+            raise ValueError("no list contains malicious URLs")
+
+    def handle(self, url: str, is_malicious: bool) -> bool:
+        if url in self._no_list:
+            self.stats.requests += 1
+            return False  # protected: never blocked, never verified
+        return super().handle(url, is_malicious)
+
+    @property
+    def size_in_bits(self) -> int:
+        # The no list stores full URLs: ~64 bits/entry hashed form at best.
+        return super().size_in_bits + 64 * len(self._no_list)
+
+
+class AdaptiveBlocklist(Blocklist):
+    """Yes list on an adaptive filter: the no list builds itself.
+
+    Every verified false positive is reported back to the filter, which
+    stops matching it — dynamically protecting whichever benign URLs the
+    live traffic actually hits, with no advance knowledge.
+    """
+
+    def __init__(self, malicious: Iterable[str], *, epsilon: float = 0.01, seed: int = 0):
+        urls = list(malicious)
+        self._filter: AdaptiveFilter = AdaptiveQuotientFilter.for_capacity(
+            max(1, len(urls)), epsilon, seed=seed
+        )
+        for url in urls:
+            self._filter.insert(url)
+        self._truth = set(urls)
+        self.stats = BlockStats()
+
+    def _on_false_positive(self, url: str) -> None:
+        self._filter.report_false_positive(url)
+
+    @property
+    def size_in_bits(self) -> int:
+        return self._filter.size_in_bits

@@ -1,0 +1,168 @@
+"""Circular-log storage engine with a maplet index (§3.1).
+
+Models the FASTER / Pliops class of engines the tutorial describes: all
+writes append log records to storage, an in-memory maplet maps each live
+key to its log position, and a garbage collector rewrites the oldest log
+segment, dropping obsolete records.  The §3.1 requirements fall out
+directly: the maplet must support **updates** (new versions), **deletes**
+(GC and tombstones) and **expansion** (the log only grows) while keeping
+lookups at ~1 device read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.storage import BlockDevice
+from repro.core.errors import DeletionError, FilterFullError
+from repro.maplets.qf_maplet import QuotientFilterMaplet
+
+_RECORD_BYTES = 32
+
+
+@dataclass
+class CircLogStats:
+    appends: int = 0
+    lookups: int = 0
+    lookup_ios: int = 0
+    wasted_lookup_ios: int = 0
+    gc_passes: int = 0
+    records_rewritten: int = 0
+
+
+class CircularLogStore:
+    """Append-only log + expandable maplet index."""
+
+    def __init__(
+        self,
+        *,
+        initial_capacity: int = 256,
+        epsilon: float = 0.01,
+        segment_records: int = 256,
+        seed: int = 0,
+    ):
+        self.device = BlockDevice()
+        self.stats = CircLogStats()
+        self.segment_records = segment_records
+        self.epsilon = epsilon
+        self.seed = seed
+        self._maplet = self._new_maplet(initial_capacity)
+        self._head = 0  # next log position
+        self._tail = 0  # oldest live position
+        self._log: dict[int, tuple[Any, Any, bool]] = {}  # pos -> (key, value, live)
+
+    def _new_maplet(self, capacity: int) -> QuotientFilterMaplet:
+        return QuotientFilterMaplet.for_capacity(
+            capacity, self.epsilon, value_bits=32, seed=self.seed
+        )
+
+    def _maplet_insert(self, key, position: int) -> None:
+        """Insert with growth: the §2.2 story — the maplet must expand as
+        the log grows, without access to the original keys."""
+        try:
+            self._maplet.insert(key, position)
+        except FilterFullError:
+            self._expand_maplet()
+            self._maplet.insert(key, position)
+
+    def _expand_maplet(self) -> None:
+        # QF maplets expand by rebuild-from-maplet-content: fingerprints
+        # cannot be rehashed, but the (fingerprint, value) pairs can be
+        # re-split into a table twice the size (the naive-QF expansion of
+        # §2.2 — one fingerprint bit is spent on addressing).
+        old = self._maplet
+        bigger = QuotientFilterMaplet(
+            old._qf.quotient_bits + 1,
+            max(1, old._qf.remainder_bits - 1),
+            value_bits=old.value_bits,
+            seed=old._qf.seed,
+        )
+        for fp, values in old._values.items():
+            for value in values:
+                bigger._qf._insert_fingerprint(fp)  # same p-bit fp, new split
+                bigger._values.setdefault(fp, []).append(value)
+        self._maplet = bigger
+
+    # -- API ------------------------------------------------------------------------
+
+    def put(self, key, value) -> None:
+        position = self._head
+        self._head += 1
+        self._log[position] = (key, value, True)
+        self.device.write(("log", position), None, size=_RECORD_BYTES)
+        self.stats.appends += 1
+        # Supersede any previous version of this key.
+        for old_pos in self._maplet.get(key):
+            record = self._log.get(old_pos)
+            if record is not None and record[0] == key and record[2]:
+                self._log[old_pos] = (record[0], record[1], False)
+                self._maplet.delete(key, old_pos)
+        self._maplet_insert(key, position)
+
+    def get(self, key, default: Any = None) -> Any:
+        self.stats.lookups += 1
+        for position in sorted(self._maplet.get(key), reverse=True):
+            record = self._log.get(position)
+            if record is None:
+                continue
+            self.stats.lookup_ios += 1
+            self.device.read(("log", position))
+            if record[0] == key and record[2]:
+                return record[1]
+            self.stats.wasted_lookup_ios += 1
+        return default
+
+    def delete(self, key) -> None:
+        found = False
+        for position in self._maplet.get(key):
+            record = self._log.get(position)
+            if record is not None and record[0] == key and record[2]:
+                self._log[position] = (record[0], record[1], False)
+                self._maplet.delete(key, position)
+                found = True
+        if not found:
+            raise DeletionError(f"key {key!r} not present")
+
+    def gc(self) -> int:
+        """Rewrite the oldest segment, dropping dead records.  Returns the
+        number of live records relocated."""
+        self.stats.gc_passes += 1
+        end = min(self._head, self._tail + self.segment_records)
+        relocated = 0
+        for position in range(self._tail, end):
+            record = self._log.pop(position, None)
+            self.device.delete(("log", position))
+            if record is None or not record[2]:
+                continue
+            key, value, _ = record
+            # Live record: re-append at the head, updating the maplet.
+            self._maplet.delete(key, position)
+            new_pos = self._head
+            self._head += 1
+            self._log[new_pos] = (key, value, True)
+            self.device.write(("log", new_pos), None, size=_RECORD_BYTES)
+            self._maplet_insert(key, new_pos)
+            relocated += 1
+            self.stats.records_rewritten += 1
+        self._tail = end
+        return relocated
+
+    # -- accounting -------------------------------------------------------------------
+
+    @property
+    def live_records(self) -> int:
+        return sum(1 for _, _, live in self._log.values() if live)
+
+    @property
+    def log_records(self) -> int:
+        return len(self._log)
+
+    @property
+    def index_bits_per_key(self) -> float:
+        live = self.live_records
+        return self._maplet.size_in_bits / live if live else 0.0
+
+    @property
+    def maplet(self) -> QuotientFilterMaplet:
+        return self._maplet

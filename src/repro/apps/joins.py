@@ -1,0 +1,91 @@
+"""Filter-accelerated selective equi-joins (§3.1).
+
+The classic pattern: build a filter over the (few) qualifying join keys of
+the small table, then scan the big table and discard rows whose keys the
+filter rejects — before paying to ship/partition/probe them.  The win is
+proportional to the join's selectivity; the filter's FPR sets how many
+useless rows survive.
+
+``filtered_join`` accepts any point filter (Bloom, cuckoo, XOR, …), which
+is experiment T8's comparison axis (cf. Lang et al., "Bloom overtakes
+cuckoo at high throughput": per-probe cost vs. FPR trade).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+
+@dataclass
+class JoinStats:
+    build_rows: int = 0
+    probe_rows: int = 0
+    rows_passed_filter: int = 0
+    false_passes: int = 0
+    result_rows: int = 0
+    filter_bits: int = 0
+
+    @property
+    def rows_discarded_early(self) -> int:
+        return self.probe_rows - self.rows_passed_filter
+
+    @property
+    def shipping_reduction(self) -> float:
+        """Fraction of probe rows the filter eliminated before the join."""
+        if not self.probe_rows:
+            return 0.0
+        return self.rows_discarded_early / self.probe_rows
+
+
+def unfiltered_join(
+    build_rows: Iterable[tuple[Any, Any]],
+    probe_rows: Iterable[tuple[Any, Any]],
+) -> tuple[list[tuple[Any, Any, Any]], JoinStats]:
+    """Plain hash join: every probe row is shipped to the join operator."""
+    stats = JoinStats()
+    table: dict[Any, list[Any]] = {}
+    for key, payload in build_rows:
+        table.setdefault(key, []).append(payload)
+        stats.build_rows += 1
+    out = []
+    for key, payload in probe_rows:
+        stats.probe_rows += 1
+        stats.rows_passed_filter += 1
+        for other in table.get(key, ()):
+            out.append((key, other, payload))
+            stats.result_rows += 1
+    return out, stats
+
+
+def filtered_join(
+    build_rows: Iterable[tuple[Any, Any]],
+    probe_rows: Iterable[tuple[Any, Any]],
+    filter_factory: Callable[[list[Any]], Any],
+) -> tuple[list[tuple[Any, Any, Any]], JoinStats]:
+    """Hash join with a pre-filter on the build side's keys.
+
+    *filter_factory* receives the build keys and returns any object with
+    ``may_contain``; only probe rows passing it reach the join.
+    """
+    stats = JoinStats()
+    table: dict[Any, list[Any]] = {}
+    for key, payload in build_rows:
+        table.setdefault(key, []).append(payload)
+        stats.build_rows += 1
+    filt = filter_factory(list(table))
+    stats.filter_bits = getattr(filt, "size_in_bits", 0)
+    out = []
+    for key, payload in probe_rows:
+        stats.probe_rows += 1
+        if not filt.may_contain(key):
+            continue  # discarded before shipping — the whole point
+        stats.rows_passed_filter += 1
+        matches = table.get(key)
+        if matches is None:
+            stats.false_passes += 1  # filter FP: shipped for nothing
+            continue
+        for other in matches:
+            out.append((key, other, payload))
+            stats.result_rows += 1
+    return out, stats

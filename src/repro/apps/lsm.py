@@ -1,0 +1,412 @@
+"""LSM-tree simulator with pluggable filters (§3.1).
+
+An in-memory model of an LSM-tree over a simulated block device, built to
+measure exactly what the tutorial's storage claims are stated in: device
+I/Os per lookup and bytes written per byte ingested (write amplification).
+
+Reproduced design space:
+
+* **Compaction**: ``leveling`` (one run per level), ``tiering`` (up to T
+  runs per level), ``lazy-leveling`` (Dostoevsky: tiering everywhere,
+  leveling at the largest level).
+* **Point filters**: ``none``, ``uniform`` (same ε on every run — how
+  systems used Bloom filters before Monkey), ``monkey`` (ε_i shrinking by
+  the size ratio for smaller levels, making ΣFPR converge: O(ε) instead of
+  O(ε·lg N) wasted I/Os).
+* **Range filters**: any :class:`~repro.core.interfaces.RangeFilter`
+  factory, built per run at flush/compaction (experiment F8).
+* **Maplet mode**: replace per-run filters with a single maplet mapping
+  each key to its run (SlimDB / Chucky / SplinterDB, §3.1): a lookup
+  probes only the runs the maplet names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.common.storage import BlockDevice
+from repro.filters.bloom import BloomFilter
+from repro.maplets.qf_maplet import QuotientFilterMaplet
+
+_ENTRY_BYTES = 16
+
+
+class _Tombstone:
+    """Sentinel marking a deleted key until compaction drops it."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<tombstone>"
+
+
+TOMBSTONE = _Tombstone()
+
+
+@dataclass
+class LSMConfig:
+    """Tuning knobs for the simulated LSM-tree."""
+
+    size_ratio: int = 10
+    memtable_entries: int = 128
+    compaction: str = "leveling"  # "leveling" | "tiering" | "lazy-leveling"
+    filter_policy: str = "monkey"  # "none" | "uniform" | "monkey"
+    largest_level_epsilon: float = 0.01
+    range_filter_factory: Callable[[list[int]], Any] | None = None
+    # GRF mode (§3.1): one tree-wide range filter instead of one per run.
+    global_range_filter_factory: Callable[[list[int]], Any] | None = None
+    use_maplet: bool = False
+    maplet_capacity: int = 1 << 16
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.size_ratio < 2:
+            raise ValueError("size_ratio must be at least 2")
+        if self.compaction not in ("leveling", "tiering", "lazy-leveling"):
+            raise ValueError(f"unknown compaction policy {self.compaction!r}")
+        if self.filter_policy not in ("none", "uniform", "monkey"):
+            raise ValueError(f"unknown filter policy {self.filter_policy!r}")
+
+
+class _Run:
+    """One immutable sorted run on the device."""
+
+    __slots__ = ("run_id", "level", "keys", "values", "filter", "range_filter", "seq")
+
+    def __init__(self, run_id, level, keys, values, filt, range_filter, seq):
+        self.run_id = run_id
+        self.level = level
+        self.keys = keys  # sorted list[int]
+        self.values = values  # parallel list
+        self.filter = filt
+        self.range_filter = range_filter
+        self.seq = seq  # recency: larger = newer data
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def get(self, key: int):
+        from bisect import bisect_left
+
+        i = bisect_left(self.keys, key)
+        if i < len(self.keys) and self.keys[i] == key:
+            return True, self.values[i]
+        return False, None
+
+
+@dataclass
+class LSMStats:
+    lookups: int = 0
+    lookup_ios: int = 0
+    wasted_lookup_ios: int = 0
+    range_queries: int = 0
+    range_ios: int = 0
+    wasted_range_ios: int = 0
+    bytes_ingested: int = 0
+    compactions: int = 0
+
+    @property
+    def ios_per_lookup(self) -> float:
+        return self.lookup_ios / self.lookups if self.lookups else 0.0
+
+    @property
+    def wasted_ios_per_lookup(self) -> float:
+        return self.wasted_lookup_ios / self.lookups if self.lookups else 0.0
+
+
+class LSMTree:
+    """Filtered LSM-tree over a simulated block device."""
+
+    def __init__(self, config: LSMConfig | None = None):
+        self.config = config or LSMConfig()
+        self.device = BlockDevice()
+        self.stats = LSMStats()
+        self._memtable: dict[int, Any] = {}
+        self._levels: list[list[_Run]] = []
+        self._next_run_id = 0
+        self._next_seq = 0
+        self._maplet: QuotientFilterMaplet | None = None
+        if self.config.use_maplet:
+            self._maplet = QuotientFilterMaplet.for_capacity(
+                self.config.maplet_capacity, self.config.largest_level_epsilon,
+                seed=self.config.seed,
+            )
+        self._global_range_filter: Any = None
+        self._global_dirty = True
+
+    # -- write path ------------------------------------------------------------
+
+    def put(self, key: int, value: Any) -> None:
+        self._memtable[key] = value
+        self.stats.bytes_ingested += _ENTRY_BYTES
+        if len(self._memtable) >= self.config.memtable_entries:
+            self.flush()
+
+    def delete(self, key: int) -> None:
+        """Delete via tombstone (the LSM way: deletes are writes)."""
+        self.put(key, TOMBSTONE)
+
+    def flush(self) -> None:
+        if not self._memtable:
+            return
+        keys = sorted(self._memtable)
+        values = [self._memtable[k] for k in keys]
+        self._memtable = {}
+        self._emit_run(0, keys, values)
+        self._maybe_compact()
+
+    def _emit_run(self, level: int, keys: list[int], values: list[Any]) -> _Run:
+        run = _Run(
+            self._next_run_id,
+            level,
+            keys,
+            values,
+            self._build_filter(level, keys),
+            self._build_range_filter(keys),
+            self._next_seq,
+        )
+        self._next_run_id += 1
+        self._next_seq += 1
+        while len(self._levels) <= level:
+            self._levels.append([])
+        self._levels[level].append(run)
+        self.device.write(("run", run.run_id), None, size=len(keys) * _ENTRY_BYTES)
+        if self._maplet is not None:
+            for key in keys:
+                self._maplet.insert(key, run.run_id)
+        self._global_dirty = True
+        return run
+
+    def _retire_run(self, run: _Run) -> None:
+        self.device.delete(("run", run.run_id))
+        if self._maplet is not None:
+            for key in run.keys:
+                self._maplet.delete(key, run.run_id)
+        self._global_dirty = True
+
+    # -- filters -----------------------------------------------------------------
+
+    def _level_epsilon(self, level: int) -> float:
+        """Per-run FPR at *level* under the configured policy."""
+        base = self.config.largest_level_epsilon
+        if self.config.filter_policy == "uniform":
+            return base
+        # Monkey: the largest level runs at `base`; each smaller level gets
+        # a size-ratio factor tighter so that Σ (runs × FPR) converges.
+        deepest = max(len(self._levels) - 1, level, 1)
+        return max(1e-9, base * self.config.size_ratio ** (level - deepest))
+
+    def _build_filter(self, level: int, keys: list[int]):
+        if self.config.filter_policy == "none" or not keys:
+            return None
+        bloom = BloomFilter(
+            len(keys), self._level_epsilon(level), seed=self.config.seed ^ level
+        )
+        for key in keys:
+            bloom.insert(key)
+        return bloom
+
+    def _build_range_filter(self, keys: list[int]):
+        factory = self.config.range_filter_factory
+        if factory is None or not keys:
+            return None
+        return factory(keys)
+
+    # -- compaction --------------------------------------------------------------
+
+    def _level_capacity_entries(self, level: int) -> int:
+        return self.config.memtable_entries * self.config.size_ratio ** (level + 1)
+
+    def _policy_at(self, level: int) -> str:
+        if self.config.compaction == "lazy-leveling":
+            deepest = len(self._levels) - 1
+            return "leveling" if level >= deepest else "tiering"
+        return self.config.compaction
+
+    def _maybe_compact(self) -> None:
+        level = 0
+        while level < len(self._levels):
+            runs = self._levels[level]
+            if self._policy_at(level) == "tiering":
+                if len(runs) >= self.config.size_ratio:
+                    self._merge_into(level, level + 1)
+            else:  # leveling
+                if len(runs) > 1:
+                    self._merge_into(level, level)
+                runs = self._levels[level]
+                if runs and len(runs[0]) > self._level_capacity_entries(level):
+                    self._merge_into(level, level + 1)
+            level += 1
+
+    def _merge_into(self, src_level: int, dst_level: int) -> None:
+        """Merge all runs at src (plus dst's runs when src != dst) into one
+        new run at dst.  Newer values win."""
+        sources = list(self._levels[src_level])
+        self._levels[src_level] = []
+        if dst_level != src_level:
+            while len(self._levels) <= dst_level:
+                self._levels.append([])
+            if self._policy_at(dst_level) == "leveling":
+                sources += self._levels[dst_level]
+                self._levels[dst_level] = []
+        merged: dict[int, tuple[int, Any]] = {}
+        for run in sources:
+            for key, value in zip(run.keys, run.values):
+                prev = merged.get(key)
+                if prev is None or run.seq > prev[0]:
+                    merged[key] = (run.seq, value)
+        for run in sources:
+            self._retire_run(run)
+        # Tombstones can be dropped once they reach the deepest data:
+        # no deeper level and no sibling run at the destination may hold an
+        # older version the tombstone still needs to shadow.
+        at_bottom = not self._levels[dst_level] and all(
+            not self._levels[i] for i in range(dst_level + 1, len(self._levels))
+        )
+        keys, values = [], []
+        for key in sorted(merged):
+            value = merged[key][1]
+            if value is TOMBSTONE and at_bottom:
+                continue
+            keys.append(key)
+            values.append(value)
+        self._emit_run(dst_level, keys, values)
+        self.stats.compactions += 1
+
+    # -- read path -------------------------------------------------------------------
+
+    def _runs_newest_first(self) -> list[_Run]:
+        runs = [run for level in self._levels for run in level]
+        runs.sort(key=lambda r: r.seq, reverse=True)
+        return runs
+
+    def _read_run(self, run: _Run, key: int):
+        self.device.read(("run", run.run_id))
+        return run.get(key)
+
+    def get(self, key: int, default: Any = None) -> Any:
+        self.stats.lookups += 1
+        if key in self._memtable:
+            value = self._memtable[key]
+            return default if value is TOMBSTONE else value
+
+        if self._maplet is not None:
+            candidates = set(self._maplet.get(key))
+            by_id = {
+                run.run_id: run for level in self._levels for run in level
+            }
+            hits = sorted(
+                (by_id[c] for c in candidates if c in by_id),
+                key=lambda r: r.seq,
+                reverse=True,
+            )
+            for run in hits:
+                self.stats.lookup_ios += 1
+                found, value = self._read_run(run, key)
+                if found:
+                    return default if value is TOMBSTONE else value
+                self.stats.wasted_lookup_ios += 1
+            return default
+
+        for run in self._runs_newest_first():
+            if run.filter is not None and not run.filter.may_contain(key):
+                continue
+            self.stats.lookup_ios += 1
+            found, value = self._read_run(run, key)
+            if found:
+                return default if value is TOMBSTONE else value
+            self.stats.wasted_lookup_ios += 1
+        return default
+
+    def _refresh_global_range_filter(self) -> None:
+        factory = self.config.global_range_filter_factory
+        if factory is None or not self._global_dirty:
+            return
+        all_keys = sorted(
+            {key for level in self._levels for run in level for key in run.keys}
+        )
+        self._global_range_filter = factory(all_keys) if all_keys else None
+        self._global_dirty = False
+
+    def range_query(self, lo: int, hi: int) -> dict[int, Any]:
+        """All live key/value pairs in [lo, hi]."""
+        if lo > hi:
+            raise ValueError("empty range: lo > hi")
+        self.stats.range_queries += 1
+        out: dict[int, tuple[int, Any]] = {}
+        for key, value in self._memtable.items():
+            if lo <= key <= hi:
+                out[key] = (float("inf"), value)
+        # GRF mode: one tree-wide filter answers emptiness before any run
+        # is considered (§3.1: "a recent global range filter for LSM-tree").
+        if self.config.global_range_filter_factory is not None:
+            self._refresh_global_range_filter()
+            if self._global_range_filter is not None and not (
+                self._global_range_filter.may_intersect(lo, hi)
+            ):
+                return {
+                    k: v for k, (_, v) in sorted(out.items()) if v is not TOMBSTONE
+                }
+        for run in self._runs_newest_first():
+            if run.range_filter is not None and not run.range_filter.may_intersect(
+                lo, hi
+            ):
+                continue
+            self.stats.range_ios += 1
+            self.device.read(("run", run.run_id))
+            from bisect import bisect_left, bisect_right
+
+            i, j = bisect_left(run.keys, lo), bisect_right(run.keys, hi)
+            if i == j:
+                self.stats.wasted_range_ios += 1
+            for k in range(i, j):
+                key = run.keys[k]
+                if key not in out or run.seq > out[key][0]:
+                    out[key] = (run.seq, run.values[k])
+        return {
+            k: v for k, (_, v) in sorted(out.items()) if v is not TOMBSTONE
+        }
+
+    # -- accounting ----------------------------------------------------------------------
+
+    @property
+    def n_entries_on_disk(self) -> int:
+        return sum(len(run) for level in self._levels for run in level)
+
+    @property
+    def n_runs(self) -> int:
+        return sum(len(level) for level in self._levels)
+
+    @property
+    def n_levels(self) -> int:
+        return len(self._levels)
+
+    @property
+    def write_amplification(self) -> float:
+        ingested = self.stats.bytes_ingested
+        return self.device.stats.bytes_written / ingested if ingested else 0.0
+
+    @property
+    def filter_bits(self) -> int:
+        if self._maplet is not None:
+            return self._maplet.size_in_bits
+        return sum(
+            run.filter.size_in_bits
+            for level in self._levels
+            for run in level
+            if run.filter is not None
+        )
+
+    @property
+    def filter_bits_per_key(self) -> float:
+        n = self.n_entries_on_disk
+        return self.filter_bits / n if n else 0.0
+
+    def sum_of_fprs(self) -> float:
+        """Σ over runs of that run's expected FPR — the quantity Monkey
+        makes converge (O(ε)) and uniform allocation lets grow (O(ε·L))."""
+        total = 0.0
+        for level in self._levels:
+            for run in level:
+                if run.filter is not None:
+                    total += run.filter.epsilon
+        return total

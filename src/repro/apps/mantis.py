@@ -1,0 +1,192 @@
+"""Mantis (Pandey et al. 2018) — an exact sequence-search index (§3.2).
+
+Inverted-index alternative to the SBT: a counting-quotient-filter maplet
+maps each k-mer — stored with an **exact** fingerprint (the full packed
+k-mer, via quotienting) — to a *colour class id*; a colour class is the
+set of experiments containing that k-mer.  Queries are exact: no false
+positives at any θ, while the index is typically smaller than the SBT
+because each k-mer appears once regardless of how many experiments share
+it (the tutorial: "smaller, faster, and exact compared to the SBT").
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.counting.cqf import CountingQuotientFilter
+from repro.workloads.dna import kmer_to_int
+
+
+class MantisIndex:
+    """Exact k-mer → colour-class inverted index on a CQF maplet."""
+
+    def __init__(self, experiments: list[set[str]], *, seed: int = 0):
+        if not experiments:
+            raise ValueError("need at least one experiment")
+        self.n_experiments = len(experiments)
+        all_kmers: dict[str, list[int]] = {}
+        for exp_id, kmers in enumerate(experiments):
+            for kmer in kmers:
+                all_kmers.setdefault(kmer, []).append(exp_id)
+        if not all_kmers:
+            raise ValueError("experiments contain no k-mers")
+        self.k = len(next(iter(all_kmers)))
+
+        # Colour classes: deduplicated experiment sets.
+        self._class_ids: dict[tuple[int, ...], int] = {}
+        self._classes: list[tuple[int, ...]] = []
+        self._kmer_class: dict[int, int] = {}  # packed kmer -> class id
+
+        quotient_bits = max(1, math.ceil(math.log2(len(all_kmers) / 0.9)))
+        remainder_bits = max(1, 2 * self.k - quotient_bits)
+        self._cqf = CountingQuotientFilter(quotient_bits, remainder_bits, seed=seed)
+
+        for kmer, exps in all_kmers.items():
+            colour = tuple(sorted(set(exps)))
+            class_id = self._class_ids.get(colour)
+            if class_id is None:
+                class_id = len(self._classes)
+                self._class_ids[colour] = class_id
+                self._classes.append(colour)
+            packed = kmer_to_int(kmer)
+            self._cqf.insert_exact(packed)
+            self._kmer_class[packed] = class_id
+
+    # -- queries -----------------------------------------------------------------
+
+    def experiments_of(self, kmer: str) -> tuple[int, ...]:
+        """Exactly the experiments containing *kmer* (empty if none)."""
+        packed = kmer_to_int(kmer)
+        if self._cqf.count_exact(packed) == 0:
+            return ()
+        return self._classes[self._kmer_class[packed]]
+
+    def query(self, kmers: Iterable[str], theta: float = 0.8) -> list[int]:
+        """Experiments containing at least θ of the query k-mers (exact)."""
+        if not 0 < theta <= 1:
+            raise ValueError("theta must be in (0, 1]")
+        query = list(kmers)
+        if not query:
+            return []
+        threshold = math.ceil(theta * len(query))
+        per_experiment = [0] * self.n_experiments
+        for kmer in query:
+            for exp_id in self.experiments_of(kmer):
+                per_experiment[exp_id] += 1
+        return [e for e, hits in enumerate(per_experiment) if hits >= threshold]
+
+    # -- accounting -------------------------------------------------------------------
+
+    @property
+    def n_kmers(self) -> int:
+        return len(self._kmer_class)
+
+    @property
+    def n_colour_classes(self) -> int:
+        return len(self._classes)
+
+    @property
+    def size_in_bits(self) -> int:
+        """CQF table + class-id per k-mer + colour-class bit vectors."""
+        class_id_bits = max(1, math.ceil(math.log2(max(2, self.n_colour_classes))))
+        colour_table = self.n_colour_classes * self.n_experiments
+        return (
+            self._cqf.size_in_bits
+            + self.n_kmers * class_id_bits
+            + colour_table
+        )
+
+
+class IncrementalMantis:
+    """Incrementally updatable Mantis via the Bentley–Saxe transformation
+    (Almodaresi, Khan, Madaminov, Ferdman, Johnson, Pandey & Patro 2022).
+
+    New sequencing experiments arrive over time; rebuilding the whole index
+    per arrival is quadratic.  Instead, keep Mantis indexes of
+    exponentially growing experiment counts (the binary-counter layout):
+    adding an experiment buffers it, carries merge-and-rebuilds up the
+    levels, and a query unions the per-level results with experiment-id
+    offsets.  Results remain exact; query cost gains the O(log n) level
+    factor; amortised rebuild work per experiment is O(log n) experiments.
+    """
+
+    def __init__(self, *, buffer_experiments: int = 1, seed: int = 0):
+        if buffer_experiments < 1:
+            raise ValueError("buffer_experiments must be positive")
+        self._buffer_cap = buffer_experiments
+        self._seed = seed
+        self._buffer: list[tuple[int, set[str]]] = []  # (global id, kmers)
+        # levels[i]: None or (MantisIndex, experiments, base_offset) where
+        # the index's local ids 0..k map to global ids base..base+k.
+        self._levels: list[tuple[MantisIndex, list[set[str]]] | None] = []
+        self._experiments: list[set[str]] = []  # global id order
+        self.rebuilds = 0
+
+    def add_experiment(self, kmers: set[str]) -> int:
+        """Index a new experiment; returns its global experiment id."""
+        exp_id = len(self._experiments)
+        self._experiments.append(kmers)
+        self._buffer.append((exp_id, kmers))
+        if len(self._buffer) >= self._buffer_cap:
+            self._carry([kmers_set for _, kmers_set in self._buffer])
+            self._buffer = []
+        return exp_id
+
+    def _carry(self, batch: list[set[str]]) -> None:
+        level = 0
+        while True:
+            if level >= len(self._levels):
+                self._levels.append(None)
+            slot = self._levels[level]
+            if slot is None:
+                self.rebuilds += 1
+                self._levels[level] = (
+                    MantisIndex(batch, seed=self._seed + level),
+                    batch,
+                )
+                return
+            _, resident = slot
+            self._levels[level] = None
+            batch = resident + batch
+            level += 1
+
+    def _global_ids(self, level_experiments: list[set[str]]) -> list[int]:
+        # Experiments keep their identity (set objects are unique), so map
+        # by object identity back to global ids.
+        by_id = {id(e): i for i, e in enumerate(self._experiments)}
+        return [by_id[id(e)] for e in level_experiments]
+
+    def query(self, kmers, theta: float = 0.8) -> list[int]:
+        """Exact θ-containment search across every indexed experiment."""
+        query = list(kmers)
+        if not query:
+            return []
+        threshold = math.ceil(theta * len(query))
+        hits: dict[int, int] = {}
+        for slot in self._levels:
+            if slot is None:
+                continue
+            index, resident = slot
+            mapping = self._global_ids(resident)
+            for kmer in query:
+                for local in index.experiments_of(kmer):
+                    global_id = mapping[local]
+                    hits[global_id] = hits.get(global_id, 0) + 1
+        for global_id, kmers_set in self._buffer:
+            count = sum(1 for q in query if q in kmers_set)
+            if count:
+                hits[global_id] = count
+        return sorted(e for e, n in hits.items() if n >= threshold)
+
+    @property
+    def n_experiments(self) -> int:
+        return len(self._experiments)
+
+    @property
+    def n_levels(self) -> int:
+        return sum(1 for slot in self._levels if slot is not None)
+
+    @property
+    def size_in_bits(self) -> int:
+        return sum(slot[0].size_in_bits for slot in self._levels if slot)

@@ -1,0 +1,137 @@
+"""Sequence Bloom Tree (Solomon & Kingsford 2016) — experiment discovery.
+
+A binary tree of Bloom filters: each leaf is one sequencing experiment's
+k-mer set; each internal node's filter is the bitwise OR of its children
+(all filters share size and hash functions, so union is literal OR).
+A query (a set of query k-mers and a threshold θ) descends the tree and
+prunes any subtree whose filter contains fewer than θ·|query| of the
+k-mers.  Results are approximate: Bloom FPs can both inflate per-node hit
+counts and return spurious experiments — the inexactness Mantis (§3.2)
+was built to eliminate.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.common.bitvector import BitVector
+from repro.common.hashing import hash_pair
+from repro.core.analysis import bloom_optimal_hashes
+
+
+class _UnionableBloom:
+    """Fixed-geometry Bloom filter supporting bitwise-OR union."""
+
+    def __init__(self, m: int, k: int, seed: int):
+        self.m = m
+        self.k = k
+        self.seed = seed
+        self.bits = BitVector(m)
+
+    def _positions(self, key) -> list[int]:
+        h1, h2 = hash_pair(key, self.seed)
+        h2 |= 1
+        return [(h1 + i * h2) % self.m for i in range(self.k)]
+
+    def insert(self, key) -> None:
+        for pos in self._positions(key):
+            self.bits.set(pos)
+
+    def may_contain(self, key) -> bool:
+        return all(self.bits.get(pos) for pos in self._positions(key))
+
+    def union_with(self, other: "_UnionableBloom") -> None:
+        self.bits.words |= other.bits.words
+
+
+class _Node:
+    __slots__ = ("bloom", "left", "right", "experiment_id")
+
+    def __init__(self, bloom, left=None, right=None, experiment_id=None):
+        self.bloom = bloom
+        self.left = left
+        self.right = right
+        self.experiment_id = experiment_id
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.experiment_id is not None
+
+
+class SequenceBloomTree:
+    """SBT over a family of experiments (k-mer sets)."""
+
+    def __init__(
+        self,
+        experiments: list[set[str]],
+        *,
+        epsilon: float = 0.01,
+        seed: int = 0,
+    ):
+        if not experiments:
+            raise ValueError("need at least one experiment")
+        self.n_experiments = len(experiments)
+        max_kmers = max(len(e) for e in experiments)
+        bits_per_key = math.log2(math.e) * math.log2(1 / epsilon)
+        # One shared geometry: sized for the largest leaf (roots are denser,
+        # hence the SBT's rising FPR toward the root — inherent to the design).
+        self._m = max(64, int(math.ceil(max_kmers * bits_per_key)))
+        self._k = bloom_optimal_hashes(bits_per_key)
+        self.seed = seed
+
+        nodes = []
+        for i, kmers in enumerate(experiments):
+            bloom = _UnionableBloom(self._m, self._k, seed)
+            for kmer in kmers:
+                bloom.insert(kmer)
+            nodes.append(_Node(bloom, experiment_id=i))
+        # Pairwise bottom-up construction.
+        while len(nodes) > 1:
+            merged = []
+            for i in range(0, len(nodes) - 1, 2):
+                left, right = nodes[i], nodes[i + 1]
+                parent_bloom = _UnionableBloom(self._m, self._k, seed)
+                parent_bloom.union_with(left.bloom)
+                parent_bloom.union_with(right.bloom)
+                merged.append(_Node(parent_bloom, left, right))
+            if len(nodes) % 2:
+                merged.append(nodes[-1])
+            nodes = merged
+        self._root = nodes[0]
+        self.last_query_nodes = 0
+
+    def query(self, kmers: Iterable[str], theta: float = 0.8) -> list[int]:
+        """Experiments containing at least θ of the query k-mers (approx.)."""
+        if not 0 < theta <= 1:
+            raise ValueError("theta must be in (0, 1]")
+        query = list(kmers)
+        if not query:
+            return []
+        threshold = math.ceil(theta * len(query))
+        self.last_query_nodes = 0
+        out: list[int] = []
+        self._search(self._root, query, threshold, out)
+        return sorted(out)
+
+    def _search(self, node: _Node, query: list[str], threshold: int, out: list[int]):
+        self.last_query_nodes += 1
+        hits = sum(1 for kmer in query if node.bloom.may_contain(kmer))
+        if hits < threshold:
+            return
+        if node.is_leaf:
+            out.append(node.experiment_id)
+            return
+        self._search(node.left, query, threshold, out)
+        self._search(node.right, query, threshold, out)
+
+    @property
+    def size_in_bits(self) -> int:
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += node.bloom.bits.n_bits
+            if not node.is_leaf:
+                stack.extend((node.left, node.right))
+        return total

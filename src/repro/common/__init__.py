@@ -1,0 +1,41 @@
+"""Shared substrates: hashing, bit vectors, succinct codecs, simulated storage.
+
+Every filter in :mod:`repro` builds on the primitives here.  They are kept
+deliberately small and dependency-free (numpy only) so that the filter
+implementations above them read like the pseudo-code in the papers they
+reproduce.
+"""
+
+from repro.common.bitvector import BitVector, PackedArray
+from repro.common.eliasfano import EliasFano
+from repro.common.hashing import (
+    fingerprint,
+    hash_to_range,
+    hash64,
+    hash_pair,
+    splitmix64,
+)
+from repro.common.rankselect import RankSelect
+from repro.common.storage import BlockDevice, IOStats
+from repro.common.varint import (
+    elias_delta_bits,
+    elias_gamma_bits,
+    unary_bits,
+)
+
+__all__ = [
+    "BitVector",
+    "BlockDevice",
+    "EliasFano",
+    "IOStats",
+    "PackedArray",
+    "RankSelect",
+    "elias_delta_bits",
+    "elias_gamma_bits",
+    "fingerprint",
+    "hash64",
+    "hash_pair",
+    "hash_to_range",
+    "splitmix64",
+    "unary_bits",
+]

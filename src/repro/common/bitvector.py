@@ -1,0 +1,145 @@
+"""Packed bit storage: a plain bit vector and a fixed-width field array.
+
+These are the physical layers under the Bloom, quotient, cuckoo, XOR and
+ribbon filters.  Both are backed by a numpy ``uint64`` array so that the
+logical size in bits reported by ``size_in_bits`` is also (up to the last
+word) the real storage used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BitVector:
+    """A mutable vector of *n* bits packed into 64-bit words."""
+
+    __slots__ = ("n_bits", "words")
+
+    def __init__(self, n_bits: int):
+        if n_bits < 0:
+            raise ValueError("bit vector length must be non-negative")
+        self.n_bits = n_bits
+        self.words = np.zeros((n_bits + 63) // 64, dtype=np.uint64)
+
+    def __len__(self) -> int:
+        return self.n_bits
+
+    def _check(self, i: int) -> None:
+        if not 0 <= i < self.n_bits:
+            raise IndexError(f"bit index {i} out of range [0, {self.n_bits})")
+
+    def get(self, i: int) -> bool:
+        self._check(i)
+        return bool((int(self.words[i >> 6]) >> (i & 63)) & 1)
+
+    def set(self, i: int, value: bool = True) -> None:
+        self._check(i)
+        word, bit = i >> 6, i & 63
+        if value:
+            self.words[word] |= np.uint64(1 << bit)
+        else:
+            self.words[word] &= np.uint64(MASK64 ^ (1 << bit))
+
+    __getitem__ = get
+
+    def __setitem__(self, i: int, value: bool) -> None:
+        self.set(i, value)
+
+    def set_many(self, indexes: np.ndarray | list[int]) -> None:
+        """Set every bit in *indexes* (vectorised)."""
+        idx = np.asarray(indexes, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n_bits):
+            raise IndexError("bit index out of range")
+        np.bitwise_or.at(
+            self.words, idx >> 6, np.uint64(1) << (idx & 63).astype(np.uint64)
+        )
+
+    def test_all(self, indexes: np.ndarray | list[int]) -> bool:
+        """True iff every bit in *indexes* is set."""
+        idx = np.asarray(indexes, dtype=np.int64)
+        bits = (self.words[idx >> 6] >> (idx & 63).astype(np.uint64)) & np.uint64(1)
+        return bool(bits.all())
+
+    def count(self) -> int:
+        """Number of set bits."""
+        return int(np.unpackbits(self.words.view(np.uint8)).sum())
+
+    def clear(self) -> None:
+        self.words[:] = 0
+
+    @property
+    def size_in_bits(self) -> int:
+        return self.n_bits
+
+    def copy(self) -> "BitVector":
+        dup = BitVector(self.n_bits)
+        dup.words[:] = self.words
+        return dup
+
+
+MASK64 = (1 << 64) - 1
+
+
+class PackedArray:
+    """*n* fields of *width* bits each, packed contiguously.
+
+    Fields may span a 64-bit word boundary; ``width`` may be 1..64.  Used for
+    remainders in quotient filters, fingerprints in cuckoo filters, and XOR /
+    ribbon filter solution arrays.
+    """
+
+    __slots__ = ("n_fields", "width", "_mask", "words")
+
+    def __init__(self, n_fields: int, width: int):
+        if not 1 <= width <= 64:
+            raise ValueError("field width must be in [1, 64]")
+        if n_fields < 0:
+            raise ValueError("field count must be non-negative")
+        self.n_fields = n_fields
+        self.width = width
+        self._mask = (1 << width) - 1
+        total_bits = n_fields * width
+        self.words = np.zeros((total_bits + 63) // 64, dtype=np.uint64)
+
+    def __len__(self) -> int:
+        return self.n_fields
+
+    def get(self, i: int) -> int:
+        if not 0 <= i < self.n_fields:
+            raise IndexError(f"field index {i} out of range [0, {self.n_fields})")
+        bit = i * self.width
+        word, offset = bit >> 6, bit & 63
+        value = int(self.words[word]) >> offset
+        spill = offset + self.width - 64
+        if spill > 0:
+            value |= int(self.words[word + 1]) << (self.width - spill)
+        return value & self._mask
+
+    def set(self, i: int, value: int) -> None:
+        if not 0 <= i < self.n_fields:
+            raise IndexError(f"field index {i} out of range [0, {self.n_fields})")
+        value &= self._mask
+        bit = i * self.width
+        word, offset = bit >> 6, bit & 63
+        low = (int(self.words[word]) & ~(self._mask << offset)) & MASK64
+        self.words[word] = np.uint64((low | (value << offset)) & MASK64)
+        spill = offset + self.width - 64
+        if spill > 0:
+            high_mask = (1 << spill) - 1
+            high = int(self.words[word + 1]) & ~high_mask
+            self.words[word + 1] = np.uint64(high | (value >> (self.width - spill)))
+
+    __getitem__ = get
+
+    def __setitem__(self, i: int, value: int) -> None:
+        self.set(i, value)
+
+    @property
+    def size_in_bits(self) -> int:
+        return self.n_fields * self.width
+
+    def copy(self) -> "PackedArray":
+        dup = PackedArray(self.n_fields, self.width)
+        dup.words[:] = self.words
+        return dup

@@ -1,0 +1,110 @@
+"""Elias–Fano encoding of a monotone integer sequence.
+
+Stores *n* sorted values from a universe ``[0, u)`` in roughly
+``n * (2 + ceil(log2(u / n)))`` bits while supporting O(1) random ``access``
+and O(log n)-ish ``next_geq`` (successor) queries.  Grafite and SNARF both
+sit on this codec.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.common.bitvector import BitVector
+from repro.common.rankselect import RankSelect
+
+
+class EliasFano:
+    """Immutable Elias–Fano sequence over sorted non-negative integers."""
+
+    def __init__(self, values: Iterable[int], universe: int | None = None):
+        vals = np.asarray(list(values), dtype=np.int64)
+        if vals.size and (np.diff(vals) < 0).any():
+            raise ValueError("Elias–Fano input must be sorted non-decreasing")
+        if vals.size and vals[0] < 0:
+            raise ValueError("Elias–Fano input must be non-negative")
+        self._n = int(vals.size)
+        if universe is None:
+            universe = int(vals[-1]) + 1 if self._n else 1
+        if self._n and universe <= int(vals[-1]):
+            raise ValueError("universe too small for the largest value")
+        self._universe = max(1, universe)
+
+        # Low-bit width: log2(u/n) rounded down (the classic choice).
+        if self._n == 0:
+            self._low_bits = 0
+        else:
+            ratio = max(1, self._universe // self._n)
+            self._low_bits = max(0, ratio.bit_length() - 1)
+
+        low_mask = (1 << self._low_bits) - 1
+        self._lows = (vals & low_mask).astype(np.uint64)
+        highs = (vals >> self._low_bits).astype(np.int64)
+
+        # Upper bits in negated-unary: bit (highs[i] + i) set for each i.
+        n_high_bits = self._n + (int(highs[-1]) + 1 if self._n else 0)
+        self._high = BitVector(max(1, n_high_bits))
+        if self._n:
+            self._high.set_many(highs + np.arange(self._n, dtype=np.int64))
+        self._high_rs = RankSelect(self._high)
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def universe(self) -> int:
+        return self._universe
+
+    def access(self, i: int) -> int:
+        """The i-th (0-indexed) value."""
+        if not 0 <= i < self._n:
+            raise IndexError(f"index {i} out of range [0, {self._n})")
+        high = self._high_rs.select(i) - i
+        return (high << self._low_bits) | int(self._lows[i])
+
+    __getitem__ = access
+
+    def next_geq(self, x: int) -> int | None:
+        """Smallest stored value >= x, or None if every value is < x."""
+        if self._n == 0:
+            return None
+        # Binary search on access(); n is small enough in our workloads that
+        # the log-factor costs nothing and the code stays obviously correct.
+        lo, hi = 0, self._n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.access(mid) < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.access(lo) if lo < self._n else None
+
+    def contains_in_range(self, lo: int, hi: int) -> bool:
+        """True iff some stored value lies in the inclusive range [lo, hi]."""
+        if lo > hi:
+            raise ValueError("empty range: lo > hi")
+        successor = self.next_geq(lo)
+        return successor is not None and successor <= hi
+
+    def __contains__(self, x: int) -> bool:
+        successor = self.next_geq(x)
+        return successor == x
+
+    @property
+    def size_in_bits(self) -> int:
+        """Logical encoded size: low bits + upper-bit vector."""
+        return self._n * self._low_bits + self._high.n_bits
+
+    def to_list(self) -> list[int]:
+        return [self.access(i) for i in range(self._n)]
+
+
+def elias_fano_bits(n: int, universe: int) -> int:
+    """Closed-form size estimate for an EF sequence (bits)."""
+    if n == 0:
+        return 1
+    ratio = max(1, universe // n)
+    low = max(0, ratio.bit_length() - 1)
+    return n * low + n + (universe >> low) + 1

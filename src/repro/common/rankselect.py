@@ -1,0 +1,71 @@
+"""Rank/select directory over a :class:`~repro.common.bitvector.BitVector`.
+
+``rank(i)`` counts set bits in ``[0, i)`` in O(1) using per-word prefix
+counts; ``select(k)`` finds the position of the k-th set bit (0-indexed) by
+binary search over the directory.  This is the standard building block for
+succinct structures (LOUDS tries, Elias–Fano, XOR+ compression).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.bitvector import BitVector
+
+
+class RankSelect:
+    """Static rank/select support built over a snapshot of *bits*.
+
+    The directory must be rebuilt (`RankSelect(bits)`) if the underlying
+    vector is mutated afterwards.
+    """
+
+    def __init__(self, bits: BitVector):
+        self._bits = bits
+        popcounts = _word_popcounts(bits.words)
+        # _prefix[w] = number of set bits strictly before word w.
+        self._prefix = np.zeros(len(bits.words) + 1, dtype=np.int64)
+        np.cumsum(popcounts, out=self._prefix[1:])
+        self._total = int(self._prefix[-1])
+
+    @property
+    def total(self) -> int:
+        """Total number of set bits."""
+        return self._total
+
+    def rank(self, i: int) -> int:
+        """Number of set bits in positions ``[0, i)``."""
+        if not 0 <= i <= self._bits.n_bits:
+            raise IndexError(f"rank position {i} out of range")
+        word, offset = i >> 6, i & 63
+        partial = 0
+        if offset:
+            mask = (1 << offset) - 1
+            partial = (int(self._bits.words[word]) & mask).bit_count()
+        return int(self._prefix[word]) + partial
+
+    def select(self, k: int) -> int:
+        """Position of the k-th (0-indexed) set bit."""
+        if not 0 <= k < self._total:
+            raise IndexError(f"select rank {k} out of range [0, {self._total})")
+        # Find the word containing the (k+1)-th set bit.
+        word = int(np.searchsorted(self._prefix, k + 1, side="left")) - 1
+        remaining = k - int(self._prefix[word])
+        bits = int(self._bits.words[word])
+        for offset in range(64):
+            if (bits >> offset) & 1:
+                if remaining == 0:
+                    return (word << 6) + offset
+                remaining -= 1
+        raise AssertionError("select directory out of sync with bit vector")
+
+    @property
+    def size_in_bits(self) -> int:
+        """Directory overhead (excludes the bit vector itself)."""
+        return self._prefix.size * 64
+
+
+def _word_popcounts(words: np.ndarray) -> np.ndarray:
+    """Per-word popcount for a uint64 array."""
+    as_bytes = words.view(np.uint8).reshape(-1, 8)
+    return np.unpackbits(as_bytes, axis=1).sum(axis=1).astype(np.int64)

@@ -1,0 +1,97 @@
+"""A simulated block device with I/O accounting.
+
+Every application in :mod:`repro.apps` (LSM-tree, circular log, joins, the
+dictionary harness used for adaptivity experiments) reads and writes through
+a :class:`BlockDevice` so that experiments can report *device I/Os*, the
+metric the tutorial's storage claims are stated in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass
+class IOStats:
+    """Running counters of simulated device traffic."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def snapshot(self) -> "IOStats":
+        return IOStats(self.reads, self.writes, self.bytes_read, self.bytes_written)
+
+    def __sub__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            self.reads - other.reads,
+            self.writes - other.writes,
+            self.bytes_read - other.bytes_read,
+            self.bytes_written - other.bytes_written,
+        )
+
+
+@dataclass
+class _Block:
+    payload: Any
+    size: int
+
+
+class BlockDevice:
+    """An addressable store of named blocks with read/write counters.
+
+    Blocks hold arbitrary Python payloads; ``size`` is the *simulated* size
+    in bytes (callers state how big the block would be on a real device).
+    """
+
+    def __init__(self):
+        self._blocks: dict[Any, _Block] = {}
+        self.stats = IOStats()
+
+    def write(self, address: Any, payload: Any, size: int | None = None) -> None:
+        """Write *payload* at *address*; counts one device write."""
+        if size is None:
+            size = _default_size(payload)
+        self._blocks[address] = _Block(payload, size)
+        self.stats.writes += 1
+        self.stats.bytes_written += size
+
+    def read(self, address: Any) -> Any:
+        """Read the block at *address*; counts one device read."""
+        block = self._blocks.get(address)
+        if block is None:
+            raise KeyError(f"no block at address {address!r}")
+        self.stats.reads += 1
+        self.stats.bytes_read += block.size
+        return block.payload
+
+    def delete(self, address: Any) -> None:
+        """Drop a block (free space; no I/O charged)."""
+        self._blocks.pop(address, None)
+
+    def exists(self, address: Any) -> bool:
+        """Metadata check; no I/O charged (directories are cached in RAM)."""
+        return address in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(block.size for block in self._blocks.values())
+
+
+def _default_size(payload: Any) -> int:
+    """Simulated byte size when the caller does not specify one."""
+    try:
+        return max(1, len(payload))
+    except TypeError:
+        return 1

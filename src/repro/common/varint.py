@@ -1,0 +1,71 @@
+"""Variable-length integer codes and their bit-cost accounting.
+
+The counting quotient filter and the spectral Bloom filter owe their space
+wins to variable-length counter encodings; the taffy/InfiniFilter family
+owes its expandability to unary-padded variable-length fingerprints.  This
+module provides the codes and, importantly for our logical space accounting,
+exact bit costs.
+"""
+
+from __future__ import annotations
+
+
+def unary_bits(value: int) -> int:
+    """Bits to encode *value* >= 0 in unary (``value`` zeros + a one)."""
+    if value < 0:
+        raise ValueError("unary code is defined for non-negative integers")
+    return value + 1
+
+
+def elias_gamma_bits(value: int) -> int:
+    """Bits to encode *value* >= 1 in Elias gamma."""
+    if value < 1:
+        raise ValueError("Elias gamma is defined for positive integers")
+    n = value.bit_length()
+    return 2 * n - 1
+
+
+def elias_delta_bits(value: int) -> int:
+    """Bits to encode *value* >= 1 in Elias delta."""
+    if value < 1:
+        raise ValueError("Elias delta is defined for positive integers")
+    n = value.bit_length()
+    return n - 1 + elias_gamma_bits(n)
+
+
+def encode_gamma(value: int) -> str:
+    """Elias gamma code of *value* as a bit string (testing aid)."""
+    if value < 1:
+        raise ValueError("Elias gamma is defined for positive integers")
+    binary = bin(value)[2:]
+    return "0" * (len(binary) - 1) + binary
+
+
+def decode_gamma(bits: str) -> tuple[int, str]:
+    """Decode one gamma codeword from *bits*; returns (value, rest)."""
+    zeros = 0
+    while zeros < len(bits) and bits[zeros] == "0":
+        zeros += 1
+    width = zeros + 1
+    if zeros + width > len(bits):
+        raise ValueError("truncated Elias gamma codeword")
+    value = int(bits[zeros : zeros + width], 2)
+    return value, bits[zeros + width :]
+
+
+def cqf_counter_bits(count: int, remainder_bits: int) -> int:
+    """Bits the counting quotient filter spends on a run of *count* copies.
+
+    Mirrors the CQF encoding (Pandey et al. 2017): a single occurrence costs
+    one remainder slot; ``count`` occurrences cost the remainder slot plus
+    enough extra slots to hold a variable-length counter, i.e.
+    ``ceil(bits(count-1) / remainder_bits)`` extra slots.  Asymptotically
+    O(log count) — the property the paper's skew claims rest on.
+    """
+    if count < 1:
+        raise ValueError("counter encodes at least one occurrence")
+    if count == 1:
+        return remainder_bits
+    counter_value_bits = max(1, (count - 1).bit_length())
+    extra_slots = -(-counter_value_bits // remainder_bits)
+    return remainder_bits * (1 + extra_slots)

@@ -1,0 +1,131 @@
+"""Closed-form space and FPR formulas quoted by the tutorial (§2, §2.7).
+
+Each function returns *bits per key* for a target false-positive rate ε.
+Benchmark T2 checks the implementations against these formulas.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _check_epsilon(epsilon: float) -> None:
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must be in (0, 1)")
+
+
+def information_lower_bound_bits_per_key(epsilon: float) -> float:
+    """The n·log₂(1/ε) lower bound for membership (plus Ω(n) for dynamic)."""
+    _check_epsilon(epsilon)
+    return math.log2(1 / epsilon)
+
+
+def bloom_bits_per_key(epsilon: float) -> float:
+    """Bloom filter: 1.44·log₂(1/ε) bits/key at the optimal hash count."""
+    _check_epsilon(epsilon)
+    return math.log2(math.e) * math.log2(1 / epsilon)
+
+
+def quotient_bits_per_key(epsilon: float, metadata_bits: float = 2.125) -> float:
+    """Quotient filter: log₂(1/ε) + metadata bits/key.
+
+    The tutorial quotes 2.125 metadata bits (counting quotient filter);
+    the original QF uses 3 and the vector QF 2.914 (§2.1 footnote).
+    """
+    _check_epsilon(epsilon)
+    return math.log2(1 / epsilon) + metadata_bits
+
+
+def cuckoo_bits_per_key(epsilon: float) -> float:
+    """Cuckoo filter: log₂(1/ε) + 3 bits/key (4-way table at 95% load)."""
+    _check_epsilon(epsilon)
+    return math.log2(1 / epsilon) + 3.0
+
+
+def xor_bits_per_key(epsilon: float) -> float:
+    """XOR filter: 1.22·log₂(1/ε) bits/key."""
+    _check_epsilon(epsilon)
+    return 1.22 * math.log2(1 / epsilon)
+
+
+def xor_plus_bits_per_key(epsilon: float) -> float:
+    """XOR+ filter: 1.08·log₂(1/ε) + 0.5 bits/key."""
+    _check_epsilon(epsilon)
+    return 1.08 * math.log2(1 / epsilon) + 0.5
+
+
+def ribbon_bits_per_key(epsilon: float) -> float:
+    """Ribbon filter: 1.005·log₂(1/ε) + 0.008 bits/key (idealised)."""
+    _check_epsilon(epsilon)
+    return 1.005 * math.log2(1 / epsilon) + 0.008
+
+
+def bloom_optimal_hashes(bits_per_key: float) -> int:
+    """Optimal k = ln2 · (m/n), at least 1."""
+    return max(1, round(math.log(2) * bits_per_key))
+
+
+def bloom_fpr(bits_per_key: float, n_hashes: int) -> float:
+    """Expected Bloom FPR for m/n bits per key and k hashes."""
+    if bits_per_key <= 0:
+        return 1.0
+    return (1 - math.exp(-n_hashes / bits_per_key)) ** n_hashes
+
+
+def range_filter_lower_bound_bits_per_key(epsilon: float, max_range: int) -> float:
+    """Goswami et al. §2.5 bound: Ω(log₂(L/ε)) − O(1) bits/key."""
+    _check_epsilon(epsilon)
+    if max_range < 1:
+        raise ValueError("max_range must be at least 1")
+    return math.log2(max_range / epsilon)
+
+
+def monkey_allocation(level_entries: list[int], total_bits: float) -> list[float]:
+    """Monkey's optimal per-level FPRs (Dayan, Athanassoulis & Idreos 2017).
+
+    Minimises the expected point-lookup cost Σᵢ pᵢ (one run per level,
+    leveled LSM) subject to the Bloom memory budget
+    Σᵢ nᵢ·log_c(pᵢ) = M, with c = 0.6185 (Bloom's ε-per-bit constant).
+    The Lagrangian gives pᵢ ∝ nᵢ — exponentially smaller FPRs for the
+    exponentially smaller levels — with water-filling for levels whose
+    unconstrained optimum exceeds 1 (they get no filter at all).
+
+    Returns the per-level FPR list aligned with *level_entries*.
+    """
+    if not level_entries:
+        return []
+    if any(n <= 0 for n in level_entries):
+        raise ValueError("level entry counts must be positive")
+    if total_bits < 0:
+        raise ValueError("total_bits must be non-negative")
+    ln_c = math.log(0.6185)
+    active = list(range(len(level_entries)))
+    fprs = [1.0] * len(level_entries)
+    while True:
+        n_active = [level_entries[i] for i in active]
+        # Solve ln λ from Σ nᵢ·ln(λ·nᵢ)/ln c = M over the active set.
+        ln_lambda = (total_bits * ln_c - sum(n * math.log(n) for n in n_active)) / sum(
+            n_active
+        )
+        overflow = [
+            i for i in active if ln_lambda + math.log(level_entries[i]) >= 0.0
+        ]
+        if not overflow:
+            for i in active:
+                fprs[i] = math.exp(ln_lambda) * level_entries[i]
+            return fprs
+        # Water-filling: saturated levels keep p=1 (no filter), re-solve.
+        for i in overflow:
+            fprs[i] = 1.0
+        active = [i for i in active if i not in overflow]
+        if not active:
+            return fprs
+
+
+def uniform_allocation(level_entries: list[int], total_bits: float) -> list[float]:
+    """The pre-Monkey status quo: same bits/key — hence same FPR — per level."""
+    if not level_entries:
+        return []
+    bits_per_key = total_bits / sum(level_entries)
+    fpr = min(1.0, 0.6185**bits_per_key)
+    return [fpr] * len(level_entries)

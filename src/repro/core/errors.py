@@ -1,0 +1,33 @@
+"""Exception hierarchy for the filter library."""
+
+from __future__ import annotations
+
+
+class FilterError(Exception):
+    """Base class for all filter-specific failures."""
+
+
+class FilterFullError(FilterError):
+    """Raised when an insertion cannot be placed (table at capacity).
+
+    Dynamic filters with open-addressing layouts (quotient, cuckoo) fail
+    structurally rather than silently degrading; callers that need unbounded
+    growth should use an expandable filter instead.
+    """
+
+
+class ImmutableFilterError(FilterError):
+    """Raised on mutation of a static (build-once) filter."""
+
+
+class NotExpandableError(FilterError):
+    """Raised when a filter cannot expand further.
+
+    The canonical case is the naive quotient-filter doubling of §2.2: each
+    doubling sacrifices one fingerprint bit, and once the bits run out the
+    filter can no longer expand (and answers positive for every query).
+    """
+
+
+class DeletionError(FilterError):
+    """Raised on a delete that the structure can prove was never inserted."""

@@ -1,0 +1,229 @@
+"""Filter factory and the tutorial's §2 taxonomy as data.
+
+``FEATURE_MATRIX`` is experiment T1: the static/semi-dynamic/dynamic
+classification and per-filter feature set exactly as the tutorial lays it
+out, kept next to the factory so it cannot drift from the implementations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.interfaces import Key
+
+
+@dataclass(frozen=True)
+class FilterFeatures:
+    """One row of the tutorial's taxonomy."""
+
+    name: str
+    kind: str  # "static" | "semi-dynamic" | "dynamic"
+    inserts: bool
+    deletes: bool
+    counting: bool
+    expandable: bool
+    adaptive: bool
+    values: bool  # maplet: associates values with keys
+    ranges: bool
+    paper_section: str
+
+
+FEATURE_MATRIX: dict[str, FilterFeatures] = {
+    name: FilterFeatures(name, *row)
+    for name, row in {
+        "bloom": ("semi-dynamic", True, False, False, False, False, False, False, "§2"),
+        "blocked-bloom": ("semi-dynamic", True, False, False, False, False, False, False, "§2"),
+        "prefix": ("semi-dynamic", True, False, False, False, False, False, False, "§2"),
+        "quotient": ("dynamic", True, True, False, False, False, False, False, "§2.1"),
+        "cuckoo": ("dynamic", True, True, False, False, False, False, False, "§2.1"),
+        "vector-quotient": ("dynamic", True, True, False, False, False, False, False, "§2.1"),
+        "morton": ("dynamic", True, True, False, False, False, False, False, "§2.1"),
+        "crate": ("dynamic", True, True, False, False, False, False, False, "§2.1"),
+        "xor": ("static", False, False, False, False, False, False, False, "§2.7"),
+        "xor-plus": ("static", False, False, False, False, False, False, False, "§2.7"),
+        "ribbon": ("static", False, False, False, False, False, False, False, "§2.7"),
+        "counting-bloom": ("dynamic", True, True, True, False, False, False, False, "§2.6"),
+        "dleft": ("dynamic", True, True, True, False, False, False, False, "§2.6"),
+        "spectral-bloom": ("dynamic", True, True, True, False, False, False, False, "§2.6"),
+        "cqf": ("dynamic", True, True, True, True, False, False, False, "§2.6"),
+        "chained": ("dynamic", True, False, False, True, False, False, False, "§2.2"),
+        "scalable-bloom": ("dynamic", True, False, False, True, False, False, False, "§2.2"),
+        "dynamic-cuckoo": ("dynamic", True, True, False, True, False, False, False, "§2.2"),
+        "bentley-saxe-xor": ("dynamic", True, False, False, True, False, False, False, "§2.2"),
+        "naive-expandable-qf": ("dynamic", True, True, False, True, False, False, False, "§2.2"),
+        "taffy-cuckoo": ("dynamic", True, False, False, True, False, False, False, "§2.2"),
+        "infinifilter": ("dynamic", True, True, False, True, False, False, False, "§2.2"),
+        "aleph": ("dynamic", True, True, False, True, False, False, False, "§2.2"),
+        "adaptive-cuckoo": ("dynamic", True, True, False, False, True, False, False, "§2.3"),
+        "telescoping": ("dynamic", True, True, False, False, True, False, False, "§2.3"),
+        "adaptive-quotient": ("dynamic", True, True, False, False, True, False, False, "§2.3"),
+        "bloomier": ("static", False, False, False, False, False, True, False, "§2.4"),
+        "qf-maplet": ("dynamic", True, True, False, True, False, True, False, "§2.4"),
+        "slimdb-maplet": ("dynamic", True, True, False, False, False, True, False, "§2.4"),
+        "surf": ("static", False, False, False, False, False, False, True, "§2.5"),
+        "rosetta": ("semi-dynamic", True, False, False, False, False, False, True, "§2.5"),
+        "proteus": ("static", False, False, False, False, False, False, True, "§2.5"),
+        "snarf": ("static", False, False, False, False, False, False, True, "§2.5"),
+        "grafite": ("static", False, False, False, False, False, False, True, "§2.5"),
+        "rencoder": ("static", False, False, False, False, False, False, True, "§2.5"),
+        "arf": ("semi-dynamic", False, False, False, False, True, False, True, "§2.5"),
+        "seesaw": ("static", False, False, True, False, True, False, False, "§3.3"),
+        "stacked": ("static", False, False, False, False, False, False, False, "§2.8"),
+        "learned": ("static", False, False, False, False, False, False, False, "§2.8"),
+    }.items()
+}
+
+
+def available_filters() -> list[str]:
+    """Names accepted by :func:`make_filter`."""
+    return sorted(FEATURE_MATRIX)
+
+
+def make_filter(
+    name: str,
+    *,
+    capacity: int | None = None,
+    epsilon: float = 0.01,
+    keys: Iterable[Key] | None = None,
+    seed: int = 0,
+    **kwargs: Any,
+):
+    """Construct a filter by taxonomy name.
+
+    Dynamic/semi-dynamic filters need *capacity*; static filters need
+    *keys*.  Extra keyword arguments pass through to the constructor.
+    """
+    features = FEATURE_MATRIX.get(name)
+    if features is None:
+        raise ValueError(f"unknown filter {name!r}; see available_filters()")
+    if features.kind == "static":
+        if keys is None:
+            raise ValueError(f"{name} is static: pass keys=...")
+        key_list = list(keys)
+    else:
+        if capacity is None:
+            raise ValueError(f"{name} is {features.kind}: pass capacity=...")
+
+    if name == "bloom":
+        from repro.filters.bloom import BloomFilter
+
+        return BloomFilter(capacity, epsilon, seed=seed, **kwargs)
+    if name == "blocked-bloom":
+        from repro.filters.bloom import BlockedBloomFilter
+
+        return BlockedBloomFilter(capacity, epsilon, seed=seed, **kwargs)
+    if name == "prefix":
+        from repro.filters.prefix import PrefixFilter
+
+        return PrefixFilter(capacity, epsilon, seed=seed, **kwargs)
+    if name == "quotient":
+        from repro.filters.quotient import QuotientFilter
+
+        return QuotientFilter.for_capacity(capacity, epsilon, seed=seed, **kwargs)
+    if name == "cuckoo":
+        from repro.filters.cuckoo import CuckooFilter
+
+        return CuckooFilter.for_capacity(capacity, epsilon, seed=seed, **kwargs)
+    if name == "vector-quotient":
+        from repro.filters.vector_quotient import VectorQuotientFilter
+
+        return VectorQuotientFilter.for_capacity(capacity, epsilon, seed=seed, **kwargs)
+    if name == "morton":
+        from repro.filters.morton import MortonFilter
+
+        return MortonFilter.for_capacity(capacity, epsilon, seed=seed, **kwargs)
+    if name == "crate":
+        from repro.filters.crate import CrateFilter
+
+        return CrateFilter.for_capacity(capacity, epsilon, seed=seed, **kwargs)
+    if name == "dynamic-cuckoo":
+        from repro.expandable.chaining import DynamicCuckooFilter
+
+        return DynamicCuckooFilter(capacity, epsilon, seed=seed, **kwargs)
+    if name == "bentley-saxe-xor":
+        from repro.expandable.bentley_saxe import BentleySaxeFilter
+        from repro.filters.xor import XorFilter
+
+        return BentleySaxeFilter(
+            lambda keys: XorFilter.build(keys, epsilon, seed=seed), **kwargs
+        )
+    if name == "xor":
+        from repro.filters.xor import XorFilter
+
+        return XorFilter.build(key_list, epsilon, seed=seed, **kwargs)
+    if name == "xor-plus":
+        from repro.filters.xor import XorPlusFilter
+
+        return XorPlusFilter.build(key_list, epsilon, seed=seed, **kwargs)
+    if name == "ribbon":
+        from repro.filters.ribbon import RibbonFilter
+
+        return RibbonFilter.build(key_list, epsilon, seed=seed, **kwargs)
+    if name == "counting-bloom":
+        from repro.counting.counting_bloom import CountingBloomFilter
+
+        return CountingBloomFilter(capacity, epsilon, seed=seed, **kwargs)
+    if name == "dleft":
+        from repro.counting.dleft import DLeftCountingFilter
+
+        return DLeftCountingFilter.for_capacity(capacity, epsilon, seed=seed, **kwargs)
+    if name == "spectral-bloom":
+        from repro.counting.spectral import SpectralBloomFilter
+
+        return SpectralBloomFilter(capacity, epsilon, seed=seed, **kwargs)
+    if name == "cqf":
+        from repro.counting.cqf import CountingQuotientFilter
+
+        return CountingQuotientFilter.for_capacity(
+            capacity, epsilon, seed=seed, **kwargs
+        )
+    if name == "chained":
+        from repro.expandable.chaining import ChainedFilter
+
+        return ChainedFilter(capacity, epsilon, seed=seed, **kwargs)
+    if name == "scalable-bloom":
+        from repro.expandable.chaining import ScalableBloomFilter
+
+        return ScalableBloomFilter(capacity, epsilon, seed=seed, **kwargs)
+    if name == "naive-expandable-qf":
+        from repro.expandable.naive import NaiveExpandableQuotientFilter
+
+        return NaiveExpandableQuotientFilter.for_capacity(
+            capacity, epsilon, seed=seed, **kwargs
+        )
+    if name == "taffy-cuckoo":
+        from repro.expandable.taffy import TaffyCuckooFilter
+
+        return TaffyCuckooFilter.for_capacity(capacity, epsilon, seed=seed, **kwargs)
+    if name == "infinifilter":
+        from repro.expandable.infinifilter import InfiniFilter
+
+        return InfiniFilter.for_capacity(capacity, epsilon, seed=seed, **kwargs)
+    if name == "aleph":
+        from repro.expandable.aleph import AlephFilter
+
+        return AlephFilter.for_capacity(capacity, epsilon, seed=seed, **kwargs)
+    if name == "adaptive-cuckoo":
+        from repro.adaptive.adaptive_cuckoo import AdaptiveCuckooFilter
+
+        return AdaptiveCuckooFilter.for_capacity(capacity, epsilon, seed=seed, **kwargs)
+    if name == "telescoping":
+        from repro.adaptive.telescoping import TelescopingFilter
+
+        return TelescopingFilter.for_capacity(capacity, epsilon, seed=seed, **kwargs)
+    if name == "adaptive-quotient":
+        from repro.adaptive.adaptive_quotient import AdaptiveQuotientFilter
+
+        return AdaptiveQuotientFilter.for_capacity(
+            capacity, epsilon, seed=seed, **kwargs
+        )
+    if name == "seesaw":
+        from repro.adaptive.seesaw import SeesawCountingFilter
+
+        return SeesawCountingFilter(key_list, epsilon=epsilon, seed=seed, **kwargs)
+    raise ValueError(
+        f"{name} requires a specialised constructor (maplets, range filters and "
+        f"learned filters take structured inputs); build it from its module"
+    )

@@ -1,0 +1,139 @@
+"""Serialization for the core filters.
+
+Filters guard on-disk data, so they must themselves be persistable: an
+LSM-tree reopening after a restart cannot afford to rebuild every run's
+filter from its keys.  ``dumps``/``loads`` give the core filters a compact,
+versioned binary form: a small struct header plus the raw packed words.
+
+Supported: :class:`~repro.filters.bloom.BloomFilter`,
+:class:`~repro.filters.quotient.QuotientFilter`,
+:class:`~repro.filters.cuckoo.CuckooFilter`,
+:class:`~repro.filters.xor.XorFilter`,
+:class:`~repro.filters.ribbon.RibbonFilter`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.filters.bloom import BloomFilter
+from repro.filters.cuckoo import CuckooFilter
+from repro.filters.quotient import QuotientFilter
+from repro.filters.ribbon import RibbonFilter
+from repro.filters.xor import XorFilter
+
+_MAGIC = b"BBF1"
+_KIND_BLOOM = 1
+_KIND_QUOTIENT = 2
+_KIND_CUCKOO = 3
+_KIND_XOR = 4
+_KIND_RIBBON = 5
+
+
+def dumps(filt) -> bytes:
+    """Serialize a supported filter to bytes."""
+    if isinstance(filt, BloomFilter):
+        header = struct.pack(
+            "<BQdQqB", _KIND_BLOOM, filt.capacity, filt.epsilon, filt._n,
+            filt.seed, filt._k,
+        )
+        return _MAGIC + header + filt._bits.words.tobytes()
+    if isinstance(filt, QuotientFilter):
+        header = struct.pack(
+            "<BBBqQd", _KIND_QUOTIENT, filt.quotient_bits, filt.remainder_bits,
+            filt.seed, filt._n, filt.max_load,
+        )
+        payload = b"".join(
+            arr.words.tobytes()
+            for arr in (filt._remainders, filt._occupied, filt._continuation, filt._shifted)
+        )
+        return _MAGIC + header + payload
+    if isinstance(filt, CuckooFilter):
+        stash = filt._stash if filt._stash is not None else 0
+        header = struct.pack(
+            "<BQBBqQQ", _KIND_CUCKOO, filt.n_buckets, filt.fingerprint_bits,
+            filt.bucket_size, filt.seed, filt._n, stash,
+        )
+        return _MAGIC + header + filt._table.tobytes()
+    if isinstance(filt, XorFilter):
+        header = struct.pack(
+            "<BBQQQ", _KIND_XOR, filt.fingerprint_bits, filt._n,
+            filt._segment, filt.seed,
+        )
+        return _MAGIC + header + filt._table.words.tobytes()
+    if isinstance(filt, RibbonFilter):
+        header = struct.pack(
+            "<BBQQQ", _KIND_RIBBON, filt.fingerprint_bits, filt._n,
+            filt._m, filt.seed,
+        )
+        return _MAGIC + header + filt._solution.words.tobytes()
+    raise TypeError(f"serialization not supported for {type(filt).__name__}")
+
+
+def loads(data: bytes):
+    """Deserialize bytes produced by :func:`dumps`."""
+    if data[:4] != _MAGIC:
+        raise ValueError("not a beyondbloom filter blob")
+    kind = data[4]
+    body = data[4:]
+    if kind == _KIND_BLOOM:
+        size = struct.calcsize("<BQdQqB")
+        _, capacity, epsilon, n, seed, k = struct.unpack("<BQdQqB", body[:size])
+        filt = BloomFilter(capacity, epsilon, n_hashes=k, seed=seed)
+        filt._n = n
+        filt._bits.words[:] = np.frombuffer(body[size:], dtype=np.uint64)
+        return filt
+    if kind == _KIND_QUOTIENT:
+        size = struct.calcsize("<BBBqQd")
+        _, q_bits, r_bits, seed, n, max_load = struct.unpack("<BBBqQd", body[:size])
+        filt = QuotientFilter(q_bits, r_bits, seed=seed, max_load=max_load)
+        filt._n = n
+        words = np.frombuffer(body[size:], dtype=np.uint64)
+        cursor = 0
+        for arr in (filt._remainders, filt._occupied, filt._continuation, filt._shifted):
+            span = arr.words.size
+            arr.words[:] = words[cursor : cursor + span]
+            cursor += span
+        return filt
+    if kind == _KIND_CUCKOO:
+        size = struct.calcsize("<BQBBqQQ")
+        _, n_buckets, f_bits, bucket_size, seed, n, stash = struct.unpack(
+            "<BQBBqQQ", body[:size]
+        )
+        filt = CuckooFilter(n_buckets, f_bits, bucket_size=bucket_size, seed=seed)
+        filt._n = n
+        filt._stash = stash if stash else None
+        filt._table[:] = np.frombuffer(body[size:], dtype=np.uint64).reshape(
+            filt.n_buckets, bucket_size
+        )
+        return filt
+    if kind == _KIND_XOR:
+        size = struct.calcsize("<BBQQQ")
+        _, f_bits, n, segment, seed = struct.unpack("<BBQQQ", body[:size])
+        filt = XorFilter.__new__(XorFilter)
+        filt.fingerprint_bits = f_bits
+        filt._n = n
+        filt._segment = segment
+        filt._n_slots = segment * 3
+        filt.seed = seed
+        from repro.common.bitvector import PackedArray
+
+        filt._table = PackedArray(filt._n_slots, f_bits)
+        filt._table.words[:] = np.frombuffer(body[size:], dtype=np.uint64)
+        return filt
+    if kind == _KIND_RIBBON:
+        size = struct.calcsize("<BBQQQ")
+        _, f_bits, n, m, seed = struct.unpack("<BBQQQ", body[:size])
+        filt = RibbonFilter.__new__(RibbonFilter)
+        filt.fingerprint_bits = f_bits
+        filt._n = n
+        filt._m = m
+        filt.seed = seed
+        from repro.common.bitvector import PackedArray
+
+        filt._solution = PackedArray(m, f_bits)
+        filt._solution.words[:] = np.frombuffer(body[size:], dtype=np.uint64)
+        return filt
+    raise ValueError(f"unknown filter kind {kind}")

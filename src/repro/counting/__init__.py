@@ -1,0 +1,13 @@
+"""Counting filters (§2.6): multiset membership with occurrence counts."""
+
+from repro.counting.counting_bloom import CountingBloomFilter
+from repro.counting.cqf import CountingQuotientFilter
+from repro.counting.dleft import DLeftCountingFilter
+from repro.counting.spectral import SpectralBloomFilter
+
+__all__ = [
+    "CountingBloomFilter",
+    "CountingQuotientFilter",
+    "DLeftCountingFilter",
+    "SpectralBloomFilter",
+]

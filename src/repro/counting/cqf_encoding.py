@@ -1,0 +1,116 @@
+"""The counting quotient filter's physical counter encoding (Pandey et al.).
+
+The CQF embeds variable-length counters *inside* the remainder slots of a
+run, exploiting the run's sort order: remainders appear in ascending
+order, so any slot *smaller* than its predecessor cannot be a remainder —
+it must be a counter digit.  The encoding of remainder x with count c:
+
+* c = 1 →  ``x``
+* c = 2 →  ``x x``  (a doubled remainder)
+* c ≥ 3 →  ``x  d₁ … d_k  x`` where the digits encode c−3 in base x
+  (all digits < x, so the first digit breaks sort order and the group is
+  self-delimiting; x = 1 degrades to unary zeros).
+* x = 0 → plain repetition ``0 … 0`` (the paper's full scheme has a
+  further escape here; repetition keeps the codec unambiguous and only
+  affects the 2⁻ʳ of keys whose remainder is exactly 0 — same
+  asymptotics for the space experiments).
+
+``encode_run``/``decode_run`` are exact inverses on any run; the
+behavioural :class:`~repro.counting.cqf.CountingQuotientFilter` charges
+the matching slot arithmetic via
+:func:`repro.common.varint.cqf_counter_bits` while keeping counters in a
+side map for Python-speed reasons (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+
+def encode_run(counts: dict[int, int], remainder_bits: int) -> list[int]:
+    """Encode a run: {remainder: count} → slot sequence."""
+    if remainder_bits < 2:
+        raise ValueError("the counter escape needs at least 2 remainder bits")
+    slots: list[int] = []
+    limit = 1 << remainder_bits
+    for remainder in sorted(counts):
+        count = counts[remainder]
+        if not 0 <= remainder < limit:
+            raise ValueError("remainder out of range")
+        if count < 1:
+            raise ValueError("count must be positive")
+        if remainder == 0:
+            slots.extend([0] * count)
+        elif count == 1:
+            slots.append(remainder)
+        elif count == 2:
+            slots.extend((remainder, remainder))
+        else:
+            slots.append(remainder)
+            slots.extend(_encode_digits(count - 3, remainder))
+            slots.append(remainder)
+    return slots
+
+
+def decode_run(slots: list[int], remainder_bits: int) -> dict[int, int]:
+    """Decode a slot sequence back to {remainder: count}."""
+    if remainder_bits < 2:
+        raise ValueError("the counter escape needs at least 2 remainder bits")
+    counts: dict[int, int] = {}
+    i = 0
+    n = len(slots)
+    while i < n:
+        remainder = slots[i]
+        if remainder == 0:
+            j = i
+            while j < n and slots[j] == 0:
+                j += 1
+            counts[0] = counts.get(0, 0) + (j - i)
+            i = j
+        elif i + 1 < n and slots[i + 1] == remainder:
+            counts[remainder] = counts.get(remainder, 0) + 2
+            i += 2
+        elif i + 1 < n and slots[i + 1] < remainder:
+            # Sort-order violation: counter digits up to the closing copy.
+            j = i + 1
+            digits = []
+            while j < n and slots[j] != remainder:
+                if slots[j] >= remainder:
+                    raise ValueError("malformed counter group")
+                digits.append(slots[j])
+                j += 1
+            if j >= n:
+                raise ValueError("truncated counter group")
+            counts[remainder] = counts.get(remainder, 0) + 3 + _decode_digits(
+                digits, remainder
+            )
+            i = j + 1
+        else:
+            counts[remainder] = counts.get(remainder, 0) + 1
+            i += 1
+    return counts
+
+
+def run_slot_cost(counts: dict[int, int], remainder_bits: int) -> int:
+    """Slots the encoded run occupies (O(log c) per counted remainder)."""
+    return len(encode_run(counts, remainder_bits))
+
+
+def _encode_digits(value: int, remainder: int) -> list[int]:
+    """Encode value ≥ 0 in digits all strictly below *remainder*."""
+    if remainder == 1:
+        return [0] * (value + 1)  # unary: the only digit below 1 is 0
+    digits = []
+    if value == 0:
+        return [0]
+    while value:
+        digits.append(value % remainder)
+        value //= remainder
+    return digits[::-1]
+
+
+def _decode_digits(digits: list[int], remainder: int) -> int:
+    if remainder == 1:
+        return len(digits) - 1
+    value = 0
+    for digit in digits:
+        value = value * remainder + digit
+    return value

@@ -1,0 +1,135 @@
+"""d-left counting Bloom filter (Bonomi et al. 2006, ESA).
+
+Splits the table into *d* subtables; each key is a (fingerprint, counter)
+cell placed in the least-loaded of its d candidate buckets.  Compared to a
+counting Bloom filter it saves roughly 2× space at equal error (one cell
+per key instead of k touched counters) and has better locality — but it is
+not resizable, and its FPR depends on the bucket geometry (§2.6).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.hashing import fingerprint, hash_to_range
+from repro.core.errors import DeletionError, FilterFullError
+from repro.core.interfaces import CountingFilter, Key
+
+DEFAULT_D = 4
+DEFAULT_BUCKET_CELLS = 8
+_COUNTER_BITS = 4
+
+
+class DLeftCountingFilter(CountingFilter):
+    """d-left hashed table of (fingerprint, counter) cells."""
+
+    def __init__(
+        self,
+        n_buckets_per_table: int,
+        fingerprint_bits: int,
+        *,
+        d: int = DEFAULT_D,
+        bucket_cells: int = DEFAULT_BUCKET_CELLS,
+        seed: int = 0,
+    ):
+        if n_buckets_per_table < 1:
+            raise ValueError("n_buckets_per_table must be positive")
+        if not 1 <= fingerprint_bits <= 56:
+            raise ValueError("fingerprint_bits must be in [1, 56]")
+        if d < 2:
+            raise ValueError("d-left hashing needs d >= 2")
+        self.d = d
+        self.n_buckets_per_table = n_buckets_per_table
+        self.bucket_cells = bucket_cells
+        self.fingerprint_bits = fingerprint_bits
+        self.seed = seed
+        # tables[t][b] = {fingerprint: count}
+        self._tables: list[list[dict[int, int]]] = [
+            [{} for _ in range(n_buckets_per_table)] for _ in range(d)
+        ]
+        self._n = 0
+
+    def _candidates(self, key: Key) -> list[tuple[int, int, int]]:
+        """(table, bucket, fingerprint) candidates, one per subtable."""
+        out = []
+        for t in range(self.d):
+            bucket = hash_to_range(key, self.n_buckets_per_table, self.seed ^ (t + 1))
+            fp = fingerprint(key, self.fingerprint_bits, self.seed ^ 0xD1F7 ^ t)
+            out.append((t, bucket, fp))
+        return out
+
+    def insert(self, key: Key) -> None:
+        candidates = self._candidates(key)
+        # Existing cell? bump its counter (in the leftmost table that has it).
+        for t, bucket, fp in candidates:
+            cell = self._tables[t][bucket]
+            if fp in cell:
+                cell[fp] += 1
+                self._n += 1
+                return
+        # New cell: d-left rule — least loaded bucket, ties to the left.
+        best = None
+        for t, bucket, fp in candidates:
+            load = len(self._tables[t][bucket])
+            if best is None or load < best[0]:
+                best = (load, t, bucket, fp)
+        load, t, bucket, fp = best
+        if load >= self.bucket_cells:
+            raise FilterFullError("d-left filter bucket overflow (not resizable)")
+        self._tables[t][bucket][fp] = 1
+        self._n += 1
+
+    def count(self, key: Key) -> int:
+        for t, bucket, fp in self._candidates(key):
+            cell = self._tables[t][bucket]
+            if fp in cell:
+                return cell[fp]
+        return 0
+
+    def delete(self, key: Key) -> None:
+        for t, bucket, fp in self._candidates(key):
+            cell = self._tables[t][bucket]
+            if fp in cell:
+                cell[fp] -= 1
+                if cell[fp] == 0:
+                    del cell[fp]
+                self._n -= 1
+                return
+        raise DeletionError("delete of a key that was never inserted")
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def size_in_bits(self) -> int:
+        """Fixed cell layout: every slot carries fingerprint + counter bits."""
+        cells = self.d * self.n_buckets_per_table * self.bucket_cells
+        return cells * (self.fingerprint_bits + _COUNTER_BITS)
+
+    def expected_fpr(self) -> float:
+        """≈ d · average bucket load · 2^-f."""
+        total_cells = sum(
+            len(bucket) for table in self._tables for bucket in table
+        )
+        buckets = self.d * self.n_buckets_per_table
+        avg = total_cells / buckets if buckets else 0.0
+        return min(1.0, self.d * avg * 2.0 ** (-self.fingerprint_bits))
+
+    @classmethod
+    def for_capacity(
+        cls,
+        capacity: int,
+        epsilon: float,
+        *,
+        d: int = DEFAULT_D,
+        bucket_cells: int = DEFAULT_BUCKET_CELLS,
+        seed: int = 0,
+    ) -> "DLeftCountingFilter":
+        """Size for *capacity* distinct keys at ~75% cell occupancy."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        per_table = max(1, math.ceil(capacity / (0.75 * d * bucket_cells)))
+        f = max(1, math.ceil(math.log2(d * bucket_cells / epsilon)))
+        return cls(per_table, f, d=d, bucket_cells=bucket_cells, seed=seed)

@@ -1,0 +1,40 @@
+"""Expandable filters (§2.2): growing capacity without the original keys.
+
+The §2.2 design space, in increasing sophistication:
+
+* :class:`ChainedFilter` — fixed-size filters chained as the data grows
+  (Guo et al.); query cost grows linearly with the chain.
+* :class:`ScalableBloomFilter` — geometrically growing chain with
+  tightening FPRs (Almeida et al.); bounded total FPR, log-length chain.
+* :class:`NaiveExpandableQuotientFilter` — quotient-filter doubling that
+  sacrifices a fingerprint bit per expansion; FPR doubles each time and
+  the filter eventually cannot expand at all.
+* :class:`TaffyCuckooFilter` — variable-length fingerprints (Apple 2022);
+  stable FPR, fast queries, no deletes.
+* :class:`InfiniFilter` — variable-length fingerprints with deletes and
+  unbounded growth (Dayan et al. 2023); queries are not constant time.
+* :class:`AlephFilter` — InfiniFilter with constant-time operations
+  (Dayan et al. 2024).
+"""
+
+from repro.expandable.aleph import AlephFilter
+from repro.expandable.bentley_saxe import BentleySaxeFilter
+from repro.expandable.chaining import (
+    ChainedFilter,
+    DynamicCuckooFilter,
+    ScalableBloomFilter,
+)
+from repro.expandable.infinifilter import InfiniFilter
+from repro.expandable.naive import NaiveExpandableQuotientFilter
+from repro.expandable.taffy import TaffyCuckooFilter
+
+__all__ = [
+    "AlephFilter",
+    "BentleySaxeFilter",
+    "ChainedFilter",
+    "DynamicCuckooFilter",
+    "InfiniFilter",
+    "NaiveExpandableQuotientFilter",
+    "ScalableBloomFilter",
+    "TaffyCuckooFilter",
+]

@@ -1,0 +1,239 @@
+"""Chained filters: the straightforward answers to filter expansion (§2.2).
+
+All three designs add whole filters as the data grows, so nothing is ever
+rehashed — but *every* filter in the chain must be probed on a query, which
+is the cost the tutorial calls out ("this approach increases query costs as
+all filters along the chain potentially need to be searched").
+
+* :class:`ChainedFilter` — fixed-size Bloom links (Guo et al.).
+* :class:`ScalableBloomFilter` — geometric links, tightening ε (Almeida).
+* :class:`DynamicCuckooFilter` — fixed-size cuckoo links (Chen et al.,
+  ICNP 2017): the chain variant that also supports deletes.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import DeletionError, FilterFullError
+from repro.core.interfaces import ExpandableFilter, Key
+from repro.filters.bloom import BloomFilter
+from repro.filters.cuckoo import CuckooFilter
+
+
+class ChainedFilter(ExpandableFilter):
+    """A linked list of fixed-size Bloom filters (Guo et al., Chen et al.).
+
+    Each link is sized for *link_capacity* keys at the *same* ε, so the
+    overall false-positive rate grows linearly with the number of links:
+    FPR ≈ 1 − (1 − ε)^links.
+    """
+
+    supports_deletes = False
+
+    def __init__(
+        self,
+        link_capacity: int,
+        epsilon: float,
+        *,
+        seed: int = 0,
+    ):
+        if link_capacity <= 0:
+            raise ValueError("link_capacity must be positive")
+        self.link_capacity = link_capacity
+        self.epsilon = epsilon
+        self.seed = seed
+        self._links: list[BloomFilter] = [BloomFilter(link_capacity, epsilon, seed=seed)]
+        self._n = 0
+
+    def insert(self, key: Key) -> None:
+        tail = self._links[-1]
+        if len(tail) >= tail.capacity:
+            self.expand()
+            tail = self._links[-1]
+        tail.insert(key)
+        self._n += 1
+
+    def expand(self) -> None:
+        self._links.append(
+            BloomFilter(
+                self.link_capacity, self.epsilon, seed=self.seed + len(self._links)
+            )
+        )
+
+    def may_contain(self, key: Key) -> bool:
+        return any(link.may_contain(key) for link in self._links)
+
+    def query_cost(self, key: Key) -> int:
+        """Filters probed for *key* (worst case on a negative: all links)."""
+        cost = 0
+        for link in self._links:
+            cost += 1
+            if link.may_contain(key):
+                break
+        return cost
+
+    @property
+    def n_links(self) -> int:
+        return len(self._links)
+
+    @property
+    def capacity(self) -> int:
+        return self.link_capacity * len(self._links)
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def size_in_bits(self) -> int:
+        return sum(link.size_in_bits for link in self._links)
+
+
+class ScalableBloomFilter(ExpandableFilter):
+    """Scalable Bloom filter (Almeida et al. 2007).
+
+    Links grow geometrically (×2) and their FPRs tighten geometrically
+    (×r, r = 0.5), so the total FPR converges to ε/(1−r) = 2ε no matter how
+    far the filter grows — at the price of a Θ(log n) chain to probe.
+    """
+
+    supports_deletes = False
+    GROWTH = 2
+    TIGHTENING = 0.5
+
+    def __init__(self, initial_capacity: int, epsilon: float, *, seed: int = 0):
+        if initial_capacity <= 0:
+            raise ValueError("initial_capacity must be positive")
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        self.initial_capacity = initial_capacity
+        self.epsilon = epsilon
+        self.seed = seed
+        self._links: list[BloomFilter] = [
+            BloomFilter(initial_capacity, epsilon * (1 - self.TIGHTENING), seed=seed)
+        ]
+        self._n = 0
+
+    def insert(self, key: Key) -> None:
+        tail = self._links[-1]
+        if len(tail) >= tail.capacity:
+            self.expand()
+            tail = self._links[-1]
+        tail.insert(key)
+        self._n += 1
+
+    def expand(self) -> None:
+        i = len(self._links)
+        capacity = self.initial_capacity * self.GROWTH**i
+        link_epsilon = self.epsilon * (1 - self.TIGHTENING) * self.TIGHTENING**i
+        self._links.append(BloomFilter(capacity, link_epsilon, seed=self.seed + i))
+
+    def may_contain(self, key: Key) -> bool:
+        return any(link.may_contain(key) for link in self._links)
+
+    def query_cost(self, key: Key) -> int:
+        cost = 0
+        for link in self._links:
+            cost += 1
+            if link.may_contain(key):
+                break
+        return cost
+
+    @property
+    def n_links(self) -> int:
+        return len(self._links)
+
+    @property
+    def capacity(self) -> int:
+        return sum(link.capacity for link in self._links)
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def size_in_bits(self) -> int:
+        return sum(link.size_in_bits for link in self._links)
+
+    def total_epsilon_bound(self) -> float:
+        """The convergent bound: Σ εᵢ ≤ ε."""
+        return self.epsilon
+
+
+class DynamicCuckooFilter(ExpandableFilter):
+    """The Dynamic Cuckoo Filter (Chen, Liao, Jin & Wu 2017).
+
+    A chain of fixed-size cuckoo filters: inserts go to the newest link
+    with room; deletes search the chain for the fingerprint (cuckoo links,
+    unlike Bloom links, can delete); queries probe every link.  Compaction
+    of sparse links is modelled by dropping emptied links.
+    """
+
+    supports_deletes = True
+
+    def __init__(self, link_capacity: int, epsilon: float, *, seed: int = 0):
+        if link_capacity <= 0:
+            raise ValueError("link_capacity must be positive")
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        self.link_capacity = link_capacity
+        self.epsilon = epsilon
+        self.seed = seed
+        self._links: list[CuckooFilter] = [self._new_link(0)]
+        self._n = 0
+
+    def _new_link(self, index: int) -> CuckooFilter:
+        return CuckooFilter.for_capacity(
+            self.link_capacity, self.epsilon, seed=self.seed + index
+        )
+
+    def insert(self, key: Key) -> None:
+        for link in reversed(self._links):
+            if len(link) < self.link_capacity:
+                try:
+                    link.insert(key)
+                    self._n += 1
+                    return
+                except FilterFullError:
+                    continue
+        self.expand()
+        self._links[-1].insert(key)
+        self._n += 1
+
+    def expand(self) -> None:
+        self._links.append(self._new_link(len(self._links)))
+
+    def may_contain(self, key: Key) -> bool:
+        return any(link.may_contain(key) for link in self._links)
+
+    def delete(self, key: Key) -> None:
+        for link in self._links:
+            try:
+                link.delete(key)
+            except DeletionError:
+                continue
+            self._n -= 1
+            if len(link) == 0 and len(self._links) > 1:
+                self._links.remove(link)  # compaction of an emptied link
+            return
+        raise DeletionError("delete of a key that was never inserted")
+
+    def query_cost(self, key: Key) -> int:
+        cost = 0
+        for link in self._links:
+            cost += 1
+            if link.may_contain(key):
+                break
+        return cost
+
+    @property
+    def n_links(self) -> int:
+        return len(self._links)
+
+    @property
+    def capacity(self) -> int:
+        return self.link_capacity * len(self._links)
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def size_in_bits(self) -> int:
+        return sum(link.size_in_bits for link in self._links)

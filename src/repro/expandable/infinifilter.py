@@ -1,0 +1,155 @@
+"""InfiniFilter (Dayan, Bercea, Reviriego & Pagh 2023, SIGMOD).
+
+Extends the variable-length-fingerprint scheme with deletes and *unbounded*
+expansion: entries whose fingerprints are exhausted ("void" entries) are
+demoted into a chain of frozen per-generation summaries instead of blocking
+expansion.  The cost — and the reason the tutorial notes that InfiniFilter
+"queries are not constant time" — is that a query must consult the main
+table *and* every legacy generation that holds void entries, so query cost
+grows with the number of expansions past the fingerprint budget
+(O(log(n/n₀)) worst case; experiment F2 measures this).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import DeletionError
+from repro.core.interfaces import ExpandableFilter, Key
+from repro.expandable.varlen import DEFAULT_BUCKET_CELLS, VarLenFingerprintTable
+
+
+class _LegacyGeneration:
+    """Frozen record of the bucket addresses that held void entries when
+    the table had *address_bits* address bits."""
+
+    __slots__ = ("address_bits", "addresses")
+
+    def __init__(self, address_bits: int):
+        self.address_bits = address_bits
+        self.addresses: dict[int, int] = {}  # address -> void entry count
+
+    def add(self, address: int) -> None:
+        self.addresses[address] = self.addresses.get(address, 0) + 1
+
+    def matches(self, h: int) -> bool:
+        return (h >> (64 - self.address_bits)) in self.addresses
+
+    def remove(self, h: int) -> bool:
+        address = h >> (64 - self.address_bits)
+        count = self.addresses.get(address, 0)
+        if count == 0:
+            return False
+        if count == 1:
+            del self.addresses[address]
+        else:
+            self.addresses[address] = count - 1
+        return True
+
+    @property
+    def n_entries(self) -> int:
+        return sum(self.addresses.values())
+
+    @property
+    def size_in_bits(self) -> int:
+        return self.n_entries * max(1, self.address_bits)
+
+
+class InfiniFilter(ExpandableFilter):
+    """Expandable filter with deletes and unbounded growth; queries probe
+    the main table plus every non-empty legacy generation."""
+
+    supports_deletes = True
+
+    def __init__(
+        self,
+        address_bits: int,
+        fingerprint_bits: int,
+        *,
+        bucket_cells: int = DEFAULT_BUCKET_CELLS,
+        seed: int = 0,
+    ):
+        self._table = VarLenFingerprintTable(
+            address_bits, fingerprint_bits, bucket_cells=bucket_cells, seed=seed
+        )
+        self._legacy: list[_LegacyGeneration] = []
+        self.seed = seed
+
+    def insert(self, key: Key) -> None:
+        self._table.insert_hash(self._table._hash(key))
+
+    def may_contain(self, key: Key) -> bool:
+        h = self._table._hash(key)
+        if self._table.matches_hash(h):
+            return True
+        return any(generation.matches(h) for generation in self._legacy)
+
+    def delete(self, key: Key) -> None:
+        h = self._table._hash(key)
+        try:
+            self._table.delete_hash(h)
+            return
+        except DeletionError:
+            pass
+        for generation in self._legacy:
+            if generation.remove(h):
+                return
+        raise DeletionError("delete of a key that was never inserted")
+
+    def expand(self) -> None:
+        old_bits = self._table.address_bits
+        voided = self._table.expand()
+        if voided:
+            generation = _LegacyGeneration(old_bits)
+            for bucket_index, _entry in voided:
+                generation.add(bucket_index)
+            self._legacy.append(generation)
+
+    def query_cost(self, key: Key) -> int:
+        """Structures probed: main table + all legacy generations."""
+        return 1 + len(self._legacy)
+
+    @property
+    def capacity(self) -> int:
+        return self._table.capacity
+
+    @property
+    def n_expansions(self) -> int:
+        return self._table.n_expansions
+
+    @property
+    def n_void_entries(self) -> int:
+        return sum(generation.n_entries for generation in self._legacy)
+
+    def expected_fpr(self) -> float:
+        hist = self._table.entry_lengths()
+        main = sum(c * 2.0**-length for length, c in hist.items()) / self._table.n_buckets
+        legacy = sum(
+            generation.n_entries / (1 << generation.address_bits)
+            for generation in self._legacy
+        )
+        return main + legacy
+
+    def __len__(self) -> int:
+        return len(self._table) + self.n_void_entries
+
+    @property
+    def size_in_bits(self) -> int:
+        return self._table.size_in_bits + sum(
+            generation.size_in_bits for generation in self._legacy
+        )
+
+    @classmethod
+    def for_capacity(
+        cls, capacity: int, epsilon: float, *, seed: int = 0
+    ) -> "InfiniFilter":
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        cells = DEFAULT_BUCKET_CELLS
+        address_bits = max(
+            1, math.ceil(math.log2(max(2.0, capacity / (cells * 0.85))))
+        )
+        fingerprint_bits = min(20, max(1, math.ceil(math.log2(cells / epsilon))))
+        return cls(address_bits, fingerprint_bits, seed=seed)

@@ -1,0 +1,29 @@
+"""Point-membership filters: Bloom, quotient, cuckoo, XOR, ribbon, prefix.
+
+Static (XOR, ribbon), semi-dynamic (Bloom, blocked Bloom, prefix) and
+dynamic (quotient, cuckoo) filters from §2 of the tutorial.
+"""
+
+from repro.filters.bloom import BlockedBloomFilter, BloomFilter
+from repro.filters.crate import CrateFilter
+from repro.filters.cuckoo import CuckooFilter
+from repro.filters.morton import MortonFilter
+from repro.filters.prefix import PrefixFilter
+from repro.filters.quotient import QuotientFilter
+from repro.filters.ribbon import RibbonFilter
+from repro.filters.vector_quotient import VectorQuotientFilter
+from repro.filters.xor import XorFilter, XorPlusFilter
+
+__all__ = [
+    "BlockedBloomFilter",
+    "BloomFilter",
+    "CrateFilter",
+    "CuckooFilter",
+    "MortonFilter",
+    "PrefixFilter",
+    "QuotientFilter",
+    "RibbonFilter",
+    "VectorQuotientFilter",
+    "XorFilter",
+    "XorPlusFilter",
+]

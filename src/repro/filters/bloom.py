@@ -1,0 +1,149 @@
+"""Bloom filters (Bloom 1970) — standard and cache-blocked.
+
+The semi-dynamic baseline of the tutorial: inserts but no deletes, capacity
+fixed at construction, 1.44·log₂(1/ε) bits/key at the optimal hash count.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.common.bitvector import BitVector
+from repro.common.hashing import hash_pair
+from repro.core.analysis import bloom_optimal_hashes
+from repro.core.interfaces import DynamicFilter, Key
+
+
+class BloomFilter(DynamicFilter):
+    """Standard Bloom filter with double hashing.
+
+    Parameters
+    ----------
+    capacity:
+        Number of keys the filter is sized for.  The FPR guarantee holds
+        while ``len(self) <= capacity``.
+    epsilon:
+        Target false-positive rate.
+    n_hashes:
+        Override the hash count (used by the A2 ablation); defaults to the
+        optimal k = ln2 · m/n.
+    """
+
+    supports_deletes = False
+
+    def __init__(
+        self,
+        capacity: int,
+        epsilon: float,
+        *,
+        n_hashes: int | None = None,
+        seed: int = 0,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        self.capacity = capacity
+        self.epsilon = epsilon
+        self.seed = seed
+        bits_per_key = math.log2(math.e) * math.log2(1 / epsilon)
+        self._m = max(64, int(math.ceil(capacity * bits_per_key)))
+        self._k = n_hashes if n_hashes is not None else bloom_optimal_hashes(bits_per_key)
+        if self._k < 1:
+            raise ValueError("n_hashes must be at least 1")
+        self._bits = BitVector(self._m)
+        self._n = 0
+
+    def _positions(self, key: Key) -> list[int]:
+        # Kirsch–Mitzenmacher double hashing: g_i = h1 + i·h2 (mod m).
+        h1, h2 = hash_pair(key, self.seed)
+        h2 |= 1  # odd step avoids degenerate cycles
+        return [(h1 + i * h2) % self._m for i in range(self._k)]
+
+    def insert(self, key: Key) -> None:
+        for pos in self._positions(key):
+            self._bits.set(pos)
+        self._n += 1
+
+    def may_contain(self, key: Key) -> bool:
+        return all(self._bits.get(pos) for pos in self._positions(key))
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def size_in_bits(self) -> int:
+        return self._m
+
+    @property
+    def n_hashes(self) -> int:
+        return self._k
+
+    @property
+    def fill_fraction(self) -> float:
+        """Fraction of set bits (≈ 0.5 at capacity with optimal k)."""
+        return self._bits.count() / self._m
+
+    @classmethod
+    def from_keys(
+        cls, keys: Iterable[Key], epsilon: float, *, seed: int = 0
+    ) -> "BloomFilter":
+        """Build a filter sized exactly for *keys*."""
+        key_list = list(keys)
+        bloom = cls(max(1, len(key_list)), epsilon, seed=seed)
+        for key in key_list:
+            bloom.insert(key)
+        return bloom
+
+
+class BlockedBloomFilter(DynamicFilter):
+    """Cache-blocked Bloom filter.
+
+    Each key hashes to one 512-bit block (a cache line on the machines the
+    tutorial targets) and sets k bits inside it.  One memory access per
+    query instead of k, at the cost of a slightly higher FPR due to block
+    load imbalance — the classic speed/accuracy trade.
+    """
+
+    supports_deletes = False
+    BLOCK_BITS = 512
+
+    def __init__(self, capacity: int, epsilon: float, *, seed: int = 0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        self.capacity = capacity
+        self.epsilon = epsilon
+        self.seed = seed
+        bits_per_key = math.log2(math.e) * math.log2(1 / epsilon)
+        total_bits = max(self.BLOCK_BITS, int(math.ceil(capacity * bits_per_key)))
+        self._n_blocks = (total_bits + self.BLOCK_BITS - 1) // self.BLOCK_BITS
+        self._k = bloom_optimal_hashes(bits_per_key)
+        self._bits = BitVector(self._n_blocks * self.BLOCK_BITS)
+        self._n = 0
+
+    def _positions(self, key: Key) -> list[int]:
+        h1, h2 = hash_pair(key, self.seed)
+        block = (h1 % self._n_blocks) * self.BLOCK_BITS
+        step = (h2 | 1) % self.BLOCK_BITS or 1
+        offset = h2 >> 32
+        return [
+            block + ((offset + i * step) % self.BLOCK_BITS) for i in range(self._k)
+        ]
+
+    def insert(self, key: Key) -> None:
+        for pos in self._positions(key):
+            self._bits.set(pos)
+        self._n += 1
+
+    def may_contain(self, key: Key) -> bool:
+        return all(self._bits.get(pos) for pos in self._positions(key))
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def size_in_bits(self) -> int:
+        return self._bits.n_bits

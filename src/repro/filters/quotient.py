@@ -1,0 +1,364 @@
+"""Quotient filter (Bender et al. 2012, "Don't Thrash").
+
+A dynamic, fingerprint-based filter: a p-bit fingerprint is split into a
+q-bit *quotient* (implicit: the canonical slot index) and an r-bit
+*remainder* (stored).  Collisions are resolved Robin-Hood style in a linear
+table; three metadata bits per slot (``is_occupied``, ``is_continuation``,
+``is_shifted``) recover each remainder's quotient.
+
+Implementation strategy
+-----------------------
+The physical layout of any maximal non-empty stretch of slots is a
+*deterministic function* of the (quotient, remainder) pairs stored in it:
+runs appear in quotient order, each run starts at ``max(canonical slot, end
+of previous run)``, and remainders are sorted within a run.  We exploit
+that: queries walk the stretch with a pending-run queue; mutations decode
+the affected stretch to pairs, edit the pair list, and re-emit the canonical
+layout.  This is equivalent to the classic shift-based insert/delete, costs
+O(stretch length) like the original, and is far easier to verify — which
+matters, because the counting, expandable and adaptive variants in this
+library all build on this class.
+
+Space: ``2^q × (r + 3)`` bits ≈ log₂(1/ε) + 3 bits/key at full load (the
+tutorial's §2 formula, with the original filter's 3 metadata bits).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from collections.abc import Iterator
+
+from repro.common.bitvector import BitVector, PackedArray
+from repro.common.hashing import hash64
+from repro.core.errors import DeletionError, FilterFullError
+from repro.core.interfaces import DynamicFilter, Key
+
+DEFAULT_MAX_LOAD = 0.9
+
+
+class QuotientFilter(DynamicFilter):
+    """Classic quotient filter with inserts and deletes.
+
+    Parameters
+    ----------
+    quotient_bits:
+        q; the table has 2^q slots.
+    remainder_bits:
+        r; stored bits per slot.  FPR ≈ load · 2^-r.
+    max_load:
+        Insert capacity as a fraction of slots (linear probing degrades
+        near full; 0.9 is the conventional operating point).
+    """
+
+    supports_deletes = True
+
+    def __init__(
+        self,
+        quotient_bits: int,
+        remainder_bits: int,
+        *,
+        seed: int = 0,
+        max_load: float = DEFAULT_MAX_LOAD,
+    ):
+        if not 1 <= quotient_bits <= 40:
+            raise ValueError("quotient_bits must be in [1, 40]")
+        if not 1 <= remainder_bits <= 56:
+            raise ValueError("remainder_bits must be in [1, 56]")
+        if not 0 < max_load < 1:
+            raise ValueError("max_load must be in (0, 1)")
+        self.quotient_bits = quotient_bits
+        self.remainder_bits = remainder_bits
+        self.seed = seed
+        self.max_load = max_load
+        self.n_slots = 1 << quotient_bits
+        self._remainders = PackedArray(self.n_slots, remainder_bits)
+        self._occupied = BitVector(self.n_slots)
+        self._continuation = BitVector(self.n_slots)
+        self._shifted = BitVector(self.n_slots)
+        self._n = 0
+
+    # -- fingerprinting -----------------------------------------------------
+
+    @property
+    def fingerprint_bits(self) -> int:
+        return self.quotient_bits + self.remainder_bits
+
+    def _fingerprint(self, key: Key) -> int:
+        return hash64(key, self.seed) & ((1 << self.fingerprint_bits) - 1)
+
+    def _split(self, fp: int) -> tuple[int, int]:
+        return fp >> self.remainder_bits, fp & ((1 << self.remainder_bits) - 1)
+
+    # -- slot predicates ------------------------------------------------------
+
+    def _in_use(self, i: int) -> bool:
+        """A slot physically holds a remainder iff its metadata is not 000."""
+        return (
+            self._occupied.get(i)
+            or self._continuation.get(i)
+            or self._shifted.get(i)
+        )
+
+    def _anchored(self, pos: int, origin: int) -> int:
+        """Slot index in the circular order anchored at *origin*."""
+        return (pos - origin) % self.n_slots
+
+    # -- stretch scan ---------------------------------------------------------
+
+    def _stretch_head(self, pos: int) -> int:
+        """Nearest unshifted in-use slot at or left of in-use slot *pos*.
+
+        Every maximal non-empty stretch begins with an unshifted element,
+        and nothing left of an unshifted element spills past it, so the
+        pending-run decode below is sound from this anchor.
+        """
+        b = pos
+        while self._shifted.get(b):
+            b = (b - 1) % self.n_slots
+        return b
+
+    def _scan_pairs(self, head: int) -> Iterator[tuple[int, int, int]]:
+        """Yield (slot, quotient, remainder) from *head* until an empty slot,
+        decoding quotients via the occupied/continuation bits."""
+        pending: deque[int] = deque()
+        pos = head
+        quotient = -1
+        for _ in range(self.n_slots):
+            if not self._in_use(pos):
+                return
+            if self._occupied.get(pos):
+                pending.append(pos)
+            if not self._continuation.get(pos):
+                quotient = pending.popleft()
+            yield pos, quotient, self._remainders.get(pos)
+            pos = (pos + 1) % self.n_slots
+        raise AssertionError("quotient filter has no empty slot (over max load?)")
+
+    def _stretch_pairs(self, head: int) -> list[tuple[int, int]]:
+        """The (quotient, remainder) multiset of the stretch at *head*."""
+        return [(q, r) for _, q, r in self._scan_pairs(head)]
+
+    # -- public API -------------------------------------------------------------
+
+    def may_contain(self, key: Key) -> bool:
+        return self._contains_fingerprint(self._fingerprint(key))
+
+    def _contains_fingerprint(self, fp: int) -> bool:
+        quotient, remainder = self._split(fp)
+        if not self._occupied.get(quotient):
+            return False
+        head = self._stretch_head(quotient)
+        target = self._anchored(quotient, head)
+        for _, run_q, rem in self._scan_pairs(head):
+            at = self._anchored(run_q, head)
+            if at == target:
+                if rem == remainder:
+                    return True
+                if rem > remainder:
+                    return False  # remainders sorted within a run
+            elif at > target:
+                return False
+        return False
+
+    def insert(self, key: Key) -> None:
+        if self._n >= self.capacity:
+            raise FilterFullError(
+                f"quotient filter at max load ({self._n}/{self.capacity})"
+            )
+        self._insert_fingerprint(self._fingerprint(key))
+
+    def _insert_fingerprint(self, fp: int) -> None:
+        quotient, remainder = self._split(fp)
+        if not self._in_use(quotient):
+            self._remainders.set(quotient, remainder)
+            self._occupied.set(quotient, True)
+            self._n += 1
+            return
+        head = self._stretch_head(quotient)
+        pairs = self._stretch_pairs(head)
+        pairs.append((quotient, remainder))
+        self._rewrite_stretch(head, pairs, old_len=len(pairs) - 1)
+        self._n += 1
+
+    def delete(self, key: Key) -> None:
+        self._delete_fingerprint(self._fingerprint(key))
+
+    def _delete_fingerprint(self, fp: int) -> None:
+        quotient, remainder = self._split(fp)
+        if not self._occupied.get(quotient):
+            raise DeletionError("delete of a key that was never inserted")
+        head = self._stretch_head(quotient)
+        pairs = self._stretch_pairs(head)
+        try:
+            pairs.remove((quotient, remainder))
+        except ValueError:
+            raise DeletionError("delete of a key that was never inserted") from None
+        self._rewrite_stretch(head, pairs, old_len=len(pairs) + 1)
+        self._n -= 1
+
+    # -- canonical layout ---------------------------------------------------------
+
+    def _rewrite_stretch(
+        self, head: int, pairs: list[tuple[int, int]], old_len: int
+    ) -> None:
+        """Clear *old_len* slots starting at *head* and re-emit *pairs* in
+        the canonical quotient-filter layout.
+
+        All quotients in *pairs* lie within the old stretch window, so the
+        new layout fits in at most ``old_len + 1`` slots from *head* (one
+        extra on insert, into the empty slot that ended the old stretch).
+        """
+        pos = head
+        present = {q for q, _ in pairs}
+        for _ in range(old_len):
+            self._continuation.set(pos, False)
+            self._shifted.set(pos, False)
+            self._remainders.set(pos, 0)
+            if self._occupied.get(pos) and pos not in present:
+                self._occupied.set(pos, False)
+            pos = (pos + 1) % self.n_slots
+
+        pairs.sort(key=lambda qr: (self._anchored(qr[0], head), qr[1]))
+        cursor = head
+        i = 0
+        while i < len(pairs):
+            quotient = pairs[i][0]
+            run: list[int] = []
+            while i < len(pairs) and pairs[i][0] == quotient:
+                run.append(pairs[i][1])
+                i += 1
+            if self._anchored(cursor, head) >= self._anchored(quotient, head):
+                start = cursor
+            else:
+                start = quotient
+            for j, rem in enumerate(run):
+                slot = (start + j) % self.n_slots
+                self._remainders.set(slot, rem)
+                self._continuation.set(slot, j > 0)
+                self._shifted.set(slot, slot != quotient)
+            self._occupied.set(quotient, True)
+            cursor = (start + len(run)) % self.n_slots
+
+    # -- accounting -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def capacity(self) -> int:
+        return int(self.n_slots * self.max_load)
+
+    @property
+    def load_factor(self) -> float:
+        return self._n / self.n_slots
+
+    @property
+    def size_in_bits(self) -> int:
+        return self.n_slots * (self.remainder_bits + 3)
+
+    def expected_fpr(self) -> float:
+        """α · 2^-r, the textbook quotient-filter false-positive estimate."""
+        return self.load_factor * 2.0 ** (-self.remainder_bits)
+
+    # -- introspection (tests, expandable/adaptive variants) ------------------------
+
+    def iter_fingerprints(self) -> Iterator[int]:
+        """Yield every stored fingerprint ((quotient << r) | remainder)."""
+        for start in range(self.n_slots):
+            prev = (start - 1) % self.n_slots
+            if self._in_use(start) and not self._in_use(prev):
+                for _, quotient, remainder in self._scan_pairs(start):
+                    yield (quotient << self.remainder_bits) | remainder
+
+    def probe_length(self, key: Key) -> int:
+        """Slots touched by a query for *key* (ablation A3 metric)."""
+        quotient, _ = self._split(self._fingerprint(key))
+        if not self._occupied.get(quotient):
+            return 1
+        head = self._stretch_head(quotient)
+        walked = self._anchored(quotient, head)
+        target = self._anchored(quotient, head)
+        count = 0
+        for _, run_q, _rem in self._scan_pairs(head):
+            count += 1
+            if self._anchored(run_q, head) > target:
+                break
+        return walked + count
+
+    @classmethod
+    def for_capacity(
+        cls, capacity: int, epsilon: float, *, seed: int = 0
+    ) -> "QuotientFilter":
+        """Size a filter for *capacity* keys at target FPR *epsilon*."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        quotient_bits = max(1, math.ceil(math.log2(capacity / DEFAULT_MAX_LOAD)))
+        remainder_bits = max(1, math.ceil(math.log2(1 / epsilon)))
+        return cls(quotient_bits, remainder_bits, seed=seed)
+
+    # -- mergeability (the "efficiently scale out of RAM" feature, §1) --------
+
+    def iter_fingerprints_sorted(self) -> Iterator[int]:
+        """Yield stored fingerprints in ascending order.
+
+        The table layout *is* fingerprint order (runs ordered by quotient,
+        remainders sorted within a run), so a sequential scan from slot 0
+        emits sorted output — the property that makes quotient filters
+        merge like sorted files and therefore scale out of RAM.
+        """
+        # Stretch heads appear in ascending slot order, and a stretch that
+        # wraps past the table end holds the largest quotients and is
+        # discovered last, so head order is global fingerprint order.
+        for start in range(self.n_slots):
+            prev = (start - 1) % self.n_slots
+            if self._in_use(start) and not self._in_use(prev):
+                yield from sorted(
+                    (q << self.remainder_bits) | r
+                    for _, q, r in self._scan_pairs(start)
+                )
+
+    @classmethod
+    def merge(cls, filters: "list[QuotientFilter]") -> "QuotientFilter":
+        """Merge same-geometry filters into one (multiset union).
+
+        Mirrors the streaming merge used to build disk-resident counting
+        quotient filters (Squeakr/Mantis): fingerprints come out of each
+        input in sorted order and are re-emitted sequentially, so a real
+        implementation never holds more than a cursor per input in RAM.
+        """
+        if not filters:
+            raise ValueError("merge needs at least one filter")
+        first = filters[0]
+        for other in filters[1:]:
+            same = (
+                other.remainder_bits == first.remainder_bits
+                and other.seed == first.seed
+                and other.quotient_bits == first.quotient_bits
+            )
+            if not same:
+                raise ValueError("merge requires identical geometry and seed")
+        total = sum(len(f) for f in filters)
+        quotient_bits = first.quotient_bits
+        while int((1 << quotient_bits) * first.max_load) < total:
+            quotient_bits += 1
+        # The p-bit fingerprints are fixed; a wider table re-splits them,
+        # spending remainder bits on addressing (as in §2.2's expansion).
+        remainder_bits = first.fingerprint_bits - quotient_bits
+        if remainder_bits < 1:
+            raise ValueError(
+                "cannot merge: combined size exhausts the fingerprint bits"
+            )
+        merged = cls(
+            quotient_bits,
+            remainder_bits,
+            seed=first.seed,
+            max_load=first.max_load,
+        )
+        import heapq
+
+        for fp in heapq.merge(*(f.iter_fingerprints_sorted() for f in filters)):
+            merged._insert_fingerprint(fp)
+        return merged

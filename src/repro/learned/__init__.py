@@ -1,0 +1,15 @@
+"""Query-distribution-aware filters (§2.8).
+
+* :class:`StackedFilter` — exploits a sample of frequently queried
+  *negative* keys: they are inserted into a second filter layer, so
+  repeat queries for them die there instead of costing false positives
+  (Deeds, Hentschel & Idreos 2020).
+* :class:`LearnedFilter` — trains a score model over the key space and
+  backs it with a small exact filter for low-scoring members (the
+  learned-index lineage of Kraska et al.).
+"""
+
+from repro.learned.classifier import LearnedFilter
+from repro.learned.stacked import StackedFilter
+
+__all__ = ["LearnedFilter", "StackedFilter"]

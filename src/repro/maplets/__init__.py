@@ -1,0 +1,25 @@
+"""Maplets (§2.4): filters that associate small values with keys.
+
+Quality metrics follow the tutorial: PRS (expected positive result size)
+and NRS (expected negative result size).
+
+* :class:`BloomierMaplet` — static keys, updatable values, PRS = NRS = 1.
+* :class:`QuotientFilterMaplet` — dynamic, PRS = 1 + ε, NRS = ε.
+* :class:`SlimDBMaplet` — dynamic, PRS = 1 exactly (collisions resolved via
+  an auxiliary dictionary of full keys).
+* :class:`ChuckyMaplet` — QF maplet whose values are Huffman-coded file
+  identifiers (the LSM use case).
+"""
+
+from repro.maplets.bloomier import BloomierMaplet
+from repro.maplets.chucky import ChuckyMaplet, huffman_code_lengths
+from repro.maplets.qf_maplet import QuotientFilterMaplet
+from repro.maplets.slimdb import SlimDBMaplet
+
+__all__ = [
+    "BloomierMaplet",
+    "ChuckyMaplet",
+    "QuotientFilterMaplet",
+    "SlimDBMaplet",
+    "huffman_code_lengths",
+]

@@ -1,0 +1,116 @@
+"""Bloomier filter as a maplet (Chazelle, Kilian, Rubinfeld & Tal 2004).
+
+The two-level construction: level one is an XOR-peeled table that encodes,
+for each key, *which* of its three candidate slots is its matched slot (the
+peeling guarantees matched slots are distinct across keys); level two is a
+plain value table indexed by that slot.  Because each key owns a distinct
+value cell, **values can be updated in place** — but the key set is fixed
+at construction, exactly the trade the tutorial describes.
+
+Every query — member or not — decodes to one slot and returns one value:
+PRS = NRS = 1.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from typing import Any
+
+from repro.common.bitvector import PackedArray
+from repro.common.hashing import derived_seeds, hash64, hash_to_range
+from repro.core.errors import ImmutableFilterError
+from repro.core.interfaces import Key, Maplet
+from repro.filters.xor import _peel
+
+_SIZE_FACTOR = 1.23
+_MAX_CONSTRUCTION_ATTEMPTS = 64
+_INDEX_BITS = 2  # enough to XOR-encode a slot choice in {0, 1, 2}
+
+
+class BloomierMaplet(Maplet):
+    """Static-key, mutable-value maplet with unit result sizes."""
+
+    def __init__(
+        self,
+        items: dict[Key, Any] | Iterable[tuple[Key, Any]],
+        *,
+        value_bits: int = 32,
+        seed: int = 0,
+    ):
+        pairs = dict(items)
+        self._n = len(pairs)
+        self.value_bits = value_bits
+        key_list = list(pairs)
+        n_slots = max(6, int(math.ceil(_SIZE_FACTOR * max(1, self._n))) + 3)
+        self._segment = n_slots // 3
+        self._n_slots = self._segment * 3
+
+        for attempt in range(_MAX_CONSTRUCTION_ATTEMPTS):
+            self.seed = derived_seeds(seed ^ 0xB100, attempt + 1)[-1]
+            all_slots = [self._slots(key) for key in key_list]
+            peel = _peel(all_slots, self._n_slots)
+            if peel is not None:
+                break
+        else:
+            raise RuntimeError("Bloomier construction failed (duplicate keys?)")
+
+        # Level 1: XOR-decodable matched-slot indexes.
+        self._index_table = PackedArray(self._n_slots, _INDEX_BITS)
+        owned_of = dict(peel.order)  # key_index -> owned slot
+        for key_index, owned in reversed(peel.order):
+            slots = all_slots[key_index]
+            iota = slots.index(owned)
+            acc = iota ^ self._mask_bits(key_list[key_index])
+            for slot in slots:
+                if slot != owned:
+                    acc ^= self._index_table.get(slot)
+            self._index_table.set(owned, acc)
+
+        # Level 2: one value cell per slot; each key owns a distinct cell.
+        self._values: list[Any] = [0] * self._n_slots
+        for key_index, owned in owned_of.items():
+            self._values[owned] = pairs[key_list[key_index]]
+
+    # -- hashing -----------------------------------------------------------------
+
+    def _slots(self, key: Key) -> tuple[int, int, int]:
+        s = self._segment
+        return (
+            hash_to_range(key, s, self.seed ^ 1),
+            s + hash_to_range(key, s, self.seed ^ 2),
+            2 * s + hash_to_range(key, s, self.seed ^ 3),
+        )
+
+    def _mask_bits(self, key: Key) -> int:
+        return hash64(key, self.seed ^ 4) & ((1 << _INDEX_BITS) - 1)
+
+    def _matched_slot(self, key: Key) -> int:
+        slots = self._slots(key)
+        iota = self._mask_bits(key)
+        for slot in slots:
+            iota ^= self._index_table.get(slot)
+        # Members decode exactly; non-members decode to an arbitrary index.
+        return slots[iota % 3]
+
+    # -- API -----------------------------------------------------------------------
+
+    def get(self, key: Key) -> list[Any]:
+        """Exactly one value, for members and non-members alike."""
+        return [self._values[self._matched_slot(key)]]
+
+    def update(self, key: Key, value: Any) -> None:
+        """Set the value of an *existing* key (its cell is private to it)."""
+        self._values[self._matched_slot(key)] = value
+
+    def insert(self, key: Key, value: Any) -> None:
+        raise ImmutableFilterError(
+            "Bloomier maplets have a fixed key set (values are updatable)"
+        )
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def size_in_bits(self) -> int:
+        return self._n_slots * (_INDEX_BITS + self.value_bits)

@@ -1,0 +1,106 @@
+"""Chucky-style maplet (Dayan & Twitto 2021): Huffman-coded file identifiers.
+
+Chucky replaces an LSM-tree's many Bloom filters with one maplet that maps
+every key to the file/level holding it.  Its insight: level identifiers are
+extremely skewed (the largest level holds ~(T−1)/T of all keys), so coding
+values with Huffman codes shrinks the per-key value cost from
+⌈log₂(levels)⌉ bits to ≈ the entropy of the level distribution — often
+close to 1 bit.
+
+``huffman_code_lengths`` is a standalone canonical-Huffman helper; the
+maplet charges each stored value its code length.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Mapping
+from typing import Any
+
+from repro.core.errors import DeletionError
+from repro.core.interfaces import DynamicMaplet, Key
+from repro.maplets.qf_maplet import QuotientFilterMaplet
+
+
+def huffman_code_lengths(weights: Mapping[Any, float]) -> dict[Any, int]:
+    """Code length (bits) per symbol for a Huffman code over *weights*."""
+    if not weights:
+        return {}
+    if any(w < 0 for w in weights.values()):
+        raise ValueError("weights must be non-negative")
+    symbols = list(weights)
+    if len(symbols) == 1:
+        return {symbols[0]: 1}
+    # Heap of (weight, tiebreak, symbols-under-node).
+    heap: list[tuple[float, int, list[Any]]] = [
+        (float(w), i, [s]) for i, (s, w) in enumerate(weights.items())
+    ]
+    heapq.heapify(heap)
+    lengths = {s: 0 for s in symbols}
+    counter = len(symbols)
+    while len(heap) > 1:
+        w1, _, s1 = heapq.heappop(heap)
+        w2, _, s2 = heapq.heappop(heap)
+        for s in s1 + s2:
+            lengths[s] += 1
+        heapq.heappush(heap, (w1 + w2, counter, s1 + s2))
+        counter += 1
+    return lengths
+
+
+class ChuckyMaplet(DynamicMaplet):
+    """QF maplet whose values are level ids charged at Huffman code length."""
+
+    def __init__(
+        self,
+        capacity: int,
+        epsilon: float,
+        level_weights: Mapping[int, float],
+        *,
+        seed: int = 0,
+    ):
+        if not level_weights:
+            raise ValueError("level_weights must be non-empty")
+        self._code_lengths = huffman_code_lengths(level_weights)
+        self._inner = QuotientFilterMaplet.for_capacity(
+            capacity, epsilon, value_bits=0, seed=seed
+        )
+        self._value_bits_stored = 0
+
+    def insert(self, key: Key, value: int) -> None:
+        if value not in self._code_lengths:
+            raise ValueError(f"level {value!r} not in the configured code")
+        self._inner.insert(key, value)
+        self._value_bits_stored += self._code_lengths[value]
+
+    def get(self, key: Key) -> list[int]:
+        return self._inner.get(key)
+
+    def delete(self, key: Key, value: int) -> None:
+        try:
+            self._inner.delete(key, value)
+        except DeletionError:
+            raise
+        self._value_bits_stored -= self._code_lengths[value]
+
+    def may_contain(self, key: Key) -> bool:
+        return self._inner.may_contain(key)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    @property
+    def size_in_bits(self) -> int:
+        """Fingerprint table + Huffman-coded values actually stored."""
+        return self._inner.size_in_bits + self._value_bits_stored
+
+    @property
+    def mean_value_bits(self) -> float:
+        n = len(self)
+        return self._value_bits_stored / n if n else 0.0
+
+    @property
+    def fixed_width_value_bits(self) -> int:
+        """What a plain (non-Huffman) encoding would pay per value."""
+        return max(1, math.ceil(math.log2(max(2, len(self._code_lengths)))))

@@ -1,0 +1,94 @@
+"""SlimDB-style exact maplet (Ren, Zheng, Arulraj & Gibson 2017).
+
+A dynamic maplet with **PRS = 1**: fingerprint collisions are detected on
+the insertion path and the colliding key's *full key* is diverted into an
+auxiliary dictionary, so a positive query always returns exactly its own
+value.  Negative queries can still collide with a stored fingerprint
+(NRS = ε) — the design bounds tail latency for positive lookups, which is
+what the storage engines §3.1 cares about.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.hashing import fingerprint
+from repro.core.errors import DeletionError
+from repro.core.interfaces import DynamicMaplet, Key
+
+
+class SlimDBMaplet(DynamicMaplet):
+    """Exact-positive maplet: primary fingerprint table + aux full-key dict."""
+
+    def __init__(self, fingerprint_bits: int = 16, *, value_bits: int = 32, seed: int = 0):
+        if not 1 <= fingerprint_bits <= 56:
+            raise ValueError("fingerprint_bits must be in [1, 56]")
+        self.fingerprint_bits = fingerprint_bits
+        self.value_bits = value_bits
+        self.seed = seed
+        self._primary: dict[int, Any] = {}  # fingerprint -> value
+        self._owner: dict[int, Key] = {}  # fingerprint -> owning key (remote rep)
+        self._aux: dict[Key, Any] = {}  # full keys of fingerprint-colliders
+        self._n = 0
+
+    def _fp(self, key: Key) -> int:
+        return fingerprint(key, self.fingerprint_bits, self.seed ^ 0x51)
+
+    def insert(self, key: Key, value: Any) -> None:
+        fp = self._fp(key)
+        owner = self._owner.get(fp)
+        if owner is None:
+            self._primary[fp] = value
+            self._owner[fp] = key
+        elif owner == key:
+            self._primary[fp] = value  # upsert
+            self._n -= 1
+        else:
+            # Collision detected at insert time: the new key goes to the
+            # auxiliary dictionary with its full key.
+            if key in self._aux:
+                self._n -= 1
+            self._aux[key] = value
+        self._n += 1
+
+    def get(self, key: Key) -> list[Any]:
+        if key in self._aux:
+            return [self._aux[key]]
+        fp = self._fp(key)
+        if fp in self._primary:
+            return [self._primary[fp]]
+        return []
+
+    def delete(self, key: Key, value: Any) -> None:
+        if key in self._aux:
+            if self._aux[key] != value:
+                raise DeletionError("value mismatch on delete")
+            del self._aux[key]
+            self._n -= 1
+            return
+        fp = self._fp(key)
+        if self._owner.get(fp) == key and self._primary.get(fp) == value:
+            del self._primary[fp]
+            del self._owner[fp]
+            self._n -= 1
+            return
+        raise DeletionError("delete of a (key, value) that was never inserted")
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def n_collisions(self) -> int:
+        """Keys living in the auxiliary dictionary."""
+        return len(self._aux)
+
+    @property
+    def size_in_bits(self) -> int:
+        """Primary entries cost fingerprint + value; aux entries carry the
+        full key (charged at 64 bits, the canonical key width here)."""
+        primary = len(self._primary) * (self.fingerprint_bits + self.value_bits)
+        aux = len(self._aux) * (64 + self.value_bits)
+        return primary + aux
+
+    def expected_fpr(self) -> float:
+        return len(self._primary) * 2.0 ** (-self.fingerprint_bits)

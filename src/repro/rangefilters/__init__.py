@@ -1,0 +1,44 @@
+"""Range filters (§2.5): ε-approximate range emptiness over integer keys.
+
+All filters share the :class:`~repro.core.interfaces.RangeFilter` API
+(``may_intersect(lo, hi)``) over keys in ``[0, 2**key_bits)``:
+
+* :class:`SuRF` — shortest-unique-prefix trie with optional suffix bits
+  (Zhang et al. 2018); fast and small, but no FPR guarantee and vulnerable
+  to key-correlated queries.
+* :class:`Rosetta` — dyadic hierarchy of Bloom filters (Luo et al. 2020);
+  robust for point/short ranges, FPR and CPU grow with range length.
+* :class:`PrefixBloomFilter` — single-level prefix Bloom (the classic
+  RocksDB trick); only covers ranges within one prefix block.
+* :class:`Proteus` — SuRF-style trie to depth l1 + prefix Bloom at l2, with
+  sample-driven parameter selection (Knorr et al. 2022).
+* :class:`SNARF` — learned CDF spline mapped to a sparse bit array encoded
+  with Elias–Fano (Vaidya et al. 2022).
+* :class:`Grafite` — locality-preserving hash + Elias–Fano (Costa et al.
+  2023); the robust, lower-bound-matching design.
+* :class:`AdaptiveRangeFilter` — Hekaton's trained binary tree (Alexiou et
+  al. 2013).
+"""
+
+from repro.rangefilters.arf import AdaptiveRangeFilter
+from repro.rangefilters.fst import FastSuccinctTrie, SurfFST
+from repro.rangefilters.grafite import Grafite
+from repro.rangefilters.prefix_bloom import PrefixBloomFilter
+from repro.rangefilters.proteus import Proteus
+from repro.rangefilters.rencoder import REncoder
+from repro.rangefilters.rosetta import Rosetta
+from repro.rangefilters.snarf import SNARF
+from repro.rangefilters.surf import SuRF
+
+__all__ = [
+    "AdaptiveRangeFilter",
+    "FastSuccinctTrie",
+    "Grafite",
+    "PrefixBloomFilter",
+    "Proteus",
+    "REncoder",
+    "Rosetta",
+    "SNARF",
+    "SuRF",
+    "SurfFST",
+]

@@ -1,0 +1,345 @@
+"""Fast Succinct Trie — the LOUDS-DS core of SuRF (Zhang et al. 2018).
+
+A physically succinct trie over byte strings with SuRF's two-zone layout:
+
+* **LOUDS-Dense** (top ``dense_levels`` levels): each node stores a
+  256-bit label bitmap and a 256-bit has-child bitmap.  Fast — an edge
+  test is one bit probe — but costs 512 bits/node, affordable only where
+  nodes are few and hot (the top of the trie).
+* **LOUDS-Sparse** (everything below): three parallel, level-ordered edge
+  arrays — ``labels`` (the edge byte), ``has_child`` (internal vs leaf),
+  ``louds`` (first-edge-of-node marker) — navigated with rank/select:
+  the child of internal edge *i* is found through
+  ``rank1(has_child, i+1)`` and ``select1(louds, ·)``.  ≈ 10–11 bits per
+  edge, which is what "space close to the information-theoretic lower
+  bound" cashes out to.
+
+Because nodes are numbered in BFS order, the two zones share one global
+node numbering: the child of the k-th internal edge (counting dense edges
+first) is node k+1, so crossing the dense→sparse boundary needs no
+special casing.
+
+:class:`FastSuccinctTrie` stores prefix-free byte strings with point
+lookup and successor (lower-bound) search; :class:`SurfFST` wraps it into
+the integer :class:`~repro.core.interfaces.RangeFilter` API via
+shortest-unique-prefix truncation plus optional real-suffix bytes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.common.bitvector import BitVector
+from repro.common.rankselect import RankSelect
+from repro.core.interfaces import RangeFilter
+
+_FANOUT = 256
+
+
+class FastSuccinctTrie:
+    """LOUDS-DS trie over sorted, distinct, prefix-free byte strings."""
+
+    def __init__(self, strings: list[bytes], *, dense_levels: int = 0):
+        if dense_levels < 0:
+            raise ValueError("dense_levels must be non-negative")
+        for a, b in zip(strings, strings[1:]):
+            if a >= b:
+                raise ValueError("input must be sorted and distinct")
+        for a, b in zip(strings, strings[1:]):
+            if b.startswith(a):
+                raise ValueError("input must be prefix-free")
+        if any(len(s) == 0 for s in strings):
+            raise ValueError("empty string is not representable")
+        self._n = len(strings)
+        self.dense_levels = dense_levels
+
+        # BFS over groups of strings sharing a prefix of the current depth.
+        # Nodes are numbered in BFS order; depth order = numbering order.
+        dense_label_bits: list[int] = []  # bit positions to set
+        dense_child_bits: list[int] = []
+        s_labels: list[int] = []
+        s_has_child: list[bool] = []
+        s_louds: list[bool] = []
+        n_dense_nodes = 0
+        n_sparse_nodes = 0
+
+        queue: deque[tuple[int, int, int]] = deque()
+        if strings:
+            queue.append((0, 0, len(strings)))
+        while queue:
+            depth, lo, hi = queue.popleft()
+            dense = depth < dense_levels
+            if dense:
+                node_index = n_dense_nodes
+                n_dense_nodes += 1
+            else:
+                n_sparse_nodes += 1
+            first_edge = True
+            i = lo
+            while i < hi:
+                byte = strings[i][depth]
+                j = i
+                while j < hi and strings[j][depth] == byte:
+                    j += 1
+                is_leaf = j == i + 1 and len(strings[i]) == depth + 1
+                if dense:
+                    pos = node_index * _FANOUT + byte
+                    dense_label_bits.append(pos)
+                    if not is_leaf:
+                        dense_child_bits.append(pos)
+                else:
+                    s_labels.append(byte)
+                    s_louds.append(first_edge)
+                    s_has_child.append(not is_leaf)
+                first_edge = False
+                if not is_leaf:
+                    queue.append((depth + 1, i, j))
+                i = j
+
+        self.n_dense_nodes = n_dense_nodes
+        self.n_edges = len(s_labels) + len(dense_label_bits)
+
+        self._d_labels = BitVector(max(1, n_dense_nodes * _FANOUT))
+        self._d_child = BitVector(max(1, n_dense_nodes * _FANOUT))
+        for pos in dense_label_bits:
+            self._d_labels.set(pos)
+        for pos in dense_child_bits:
+            self._d_child.set(pos)
+        self._rs_d_child = RankSelect(self._d_child)
+        self._n_dense_internal = self._rs_d_child.total
+
+        m = len(s_labels)
+        self._s_n_edges = m
+        self._labels = np.asarray(s_labels, dtype=np.uint8)
+        self._has_child = BitVector(max(1, m))
+        self._louds = BitVector(max(1, m))
+        for pos, bit in enumerate(s_has_child):
+            if bit:
+                self._has_child.set(pos)
+        for pos, bit in enumerate(s_louds):
+            if bit:
+                self._louds.set(pos)
+        self._rs_child = RankSelect(self._has_child)
+        self._rs_louds = RankSelect(self._louds)
+
+    def __len__(self) -> int:
+        return self._n
+
+    # -- navigation primitives (zone-dispatching) -------------------------------
+    #
+    # Nodes are global BFS numbers; node < n_dense_nodes ⇔ dense zone.
+    # Each primitive returns (label, has_child, child_node) triples; the
+    # child number is global: the child of the k-th internal edge overall
+    # (dense internal edges all precede sparse ones) is node k+1, with the
+    # root being node 0.
+
+    def _dense_child(self, pos: int) -> int:
+        return self._rs_d_child.rank(pos + 1)  # root is node 0
+
+    def _sparse_child(self, edge: int) -> int:
+        return self._n_dense_internal + self._rs_child.rank(edge + 1)
+
+    def _sparse_range(self, node: int) -> tuple[int, int]:
+        sparse_index = node - self.n_dense_nodes
+        start = self._rs_louds.select(sparse_index)
+        if sparse_index + 1 < self._rs_louds.total:
+            return start, self._rs_louds.select(sparse_index + 1)
+        return start, self._s_n_edges
+
+    def _lookup(self, node: int, byte: int):
+        """Edge labelled *byte* at *node*: (has_child, child) or None."""
+        if node < self.n_dense_nodes:
+            pos = node * _FANOUT + byte
+            if not self._d_labels.get(pos):
+                return None
+            if self._d_child.get(pos):
+                return True, self._dense_child(pos)
+            return False, -1
+        start, end = self._sparse_range(node)
+        pos = start + int(np.searchsorted(self._labels[start:end], np.uint8(byte)))
+        if pos >= end or self._labels[pos] != byte:
+            return None
+        if self._has_child.get(pos):
+            return True, self._sparse_child(pos)
+        return False, -1
+
+    def _first_label_geq(self, node: int, byte: int):
+        """Smallest edge label ≥ *byte* at *node*:
+        (label, has_child, child) or None."""
+        if byte >= _FANOUT:
+            return None
+        if node < self.n_dense_nodes:
+            base = node * _FANOUT
+            for label in range(byte, _FANOUT):
+                if self._d_labels.get(base + label):
+                    pos = base + label
+                    if self._d_child.get(pos):
+                        return label, True, self._dense_child(pos)
+                    return label, False, -1
+            return None
+        start, end = self._sparse_range(node)
+        pos = start + int(np.searchsorted(self._labels[start:end], np.uint8(byte)))
+        if pos >= end:
+            return None
+        label = int(self._labels[pos])
+        if self._has_child.get(pos):
+            return label, True, self._sparse_child(pos)
+        return label, False, -1
+
+    # -- queries -----------------------------------------------------------------
+
+    def contains_prefix_of(self, key: bytes) -> bool:
+        """True iff some stored string is a prefix of *key*."""
+        if self.n_edges == 0:
+            return False
+        node = 0
+        for byte in key:
+            hit = self._lookup(node, byte)
+            if hit is None:
+                return False
+            has_child, child = hit
+            if not has_child:
+                return True  # stored string ends on this edge
+            node = child
+        return False  # key exhausted inside the trie (key too short)
+
+    def _leftmost_from_edge(self, label: int, has_child: bool, child: int,
+                            acc: list[int]) -> bytes:
+        """Smallest stored string passing through the given edge."""
+        acc.append(label)
+        while has_child:
+            label, has_child, child = self._first_label_geq(child, 0)
+            acc.append(label)
+        return bytes(acc)
+
+    def successor(self, key: bytes) -> bytes | None:
+        """First stored string (in lexicographic order) that is either a
+        prefix of *key* or greater than *key* — the seek primitive for
+        range emptiness (its covered interval is the first ending ≥ key).
+        """
+        if self.n_edges == 0:
+            return None
+        return self._successor_from(0, key, 0, [])
+
+    def _successor_from(self, node: int, key: bytes, depth: int,
+                        acc: list[int]) -> bytes | None:
+        if depth >= len(key):
+            # Every string below extends (exceeds) the key: take leftmost.
+            edge = self._first_label_geq(node, 0)
+            return self._leftmost_from_edge(*edge, list(acc))
+        byte = key[depth]
+        hit = self._lookup(node, byte)
+        next_from = byte
+        if hit is not None:
+            has_child, child = hit
+            if not has_child:
+                return bytes(acc + [byte])  # stored prefix of key: covers it
+            result = self._successor_from(child, key, depth + 1, acc + [byte])
+            if result is not None:
+                return result
+            next_from = byte + 1  # subtree entirely below key: move right
+        edge = self._first_label_geq(node, next_from)
+        if edge is None:
+            return None
+        return self._leftmost_from_edge(*edge, list(acc))
+
+    @property
+    def size_in_bits(self) -> int:
+        """Dense: 512 bits/node; sparse: labels + has_child + louds + rank
+        directories (charged at the classic 0.25 bits/bit)."""
+        dense = self.n_dense_nodes * 2 * _FANOUT
+        dense += self.n_dense_nodes * _FANOUT // 4
+        m = self._s_n_edges
+        return dense + m * 8 + 2 * m + m // 2
+
+
+class SurfFST(RangeFilter):
+    """SuRF over the physical FST: integer range filter.
+
+    Keys become fixed-width big-endian byte strings, truncated to their
+    shortest unique byte prefix plus *suffix_bytes* real bytes (SuRF-Real
+    at byte granularity).  *dense_levels* selects how many top levels use
+    the LOUDS-Dense encoding (SuRF's speed/space dial).
+    """
+
+    def __init__(
+        self,
+        keys: list[int],
+        *,
+        key_bits: int = 48,
+        suffix_bytes: int = 0,
+        dense_levels: int = 0,
+        seed: int = 0,
+    ):
+        if key_bits % 8 != 0:
+            raise ValueError("key_bits must be a multiple of 8 (byte-level trie)")
+        if suffix_bytes < 0:
+            raise ValueError("suffix_bytes must be non-negative")
+        self.key_bits = key_bits
+        self.width = key_bits // 8
+        self.suffix_bytes = suffix_bytes
+        unique = sorted(set(keys))
+        if any(k < 0 or k >= (1 << key_bits) for k in unique):
+            raise ValueError("key out of universe range")
+        self._n = len(unique)
+        encoded = [self._encode(k) for k in unique]
+        truncated = self._truncate(encoded)
+        self._trie = FastSuccinctTrie(truncated, dense_levels=dense_levels)
+
+    def _encode(self, key: int) -> bytes:
+        return key.to_bytes(self.width, "big")
+
+    def _truncate(self, encoded: list[bytes]) -> list[bytes]:
+        """Shortest unique byte prefixes (+ suffix bytes), prefix-free."""
+        out = []
+        n = len(encoded)
+        for i, s in enumerate(encoded):
+            shared = 0
+            if i > 0:
+                shared = max(shared, _common_prefix_bytes(s, encoded[i - 1]))
+            if i + 1 < n:
+                shared = max(shared, _common_prefix_bytes(s, encoded[i + 1]))
+            length = min(self.width, shared + 1 + self.suffix_bytes)
+            out.append(s[:length])
+        return out
+
+    def may_intersect(self, lo: int, hi: int) -> bool:
+        if lo > hi:
+            raise ValueError("empty range: lo > hi")
+        if self._n == 0:
+            return False
+        successor = self._trie.successor(self._encode(lo))
+        if successor is None:
+            return False
+        # The stored prefix covers [prefix·256^k, (prefix+1)·256^k): it
+        # intersects [lo, hi] iff its start does not exceed hi (its end is
+        # >= lo by the successor contract).
+        pad = self.width - len(successor)
+        start = int.from_bytes(successor + b"\x00" * pad, "big")
+        return start <= hi
+
+    def may_contain(self, key: int) -> bool:
+        if self._n == 0:
+            return False
+        return self._trie.contains_prefix_of(self._encode(key))
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def n_edges(self) -> int:
+        return self._trie.n_edges
+
+    @property
+    def size_in_bits(self) -> int:
+        return self._trie.size_in_bits
+
+
+def _common_prefix_bytes(a: bytes, b: bytes) -> int:
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n

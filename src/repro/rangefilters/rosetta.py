@@ -1,0 +1,149 @@
+"""Rosetta — Robust Space-Time Optimized Range Filter (Luo et al. 2020).
+
+Conceptually a segment tree of Bloom filters: the filter at level ℓ stores
+every key's length-ℓ prefix.  A range query is decomposed into dyadic
+intervals; each is probed in its level's Bloom filter and *doubted*
+(recursively re-checked in finer levels) until the bottom level confirms.
+
+Reproduced properties (experiments F4/F5):
+
+* point and short-range queries get a real FPR guarantee independent of
+  the key distribution (what SuRF lacks);
+* FPR and CPU cost grow with range length — past ``2**n_levels`` the
+  filter degrades to no filtering;
+* CPU overhead is intrinsic (many Bloom probes per query) — exposed via
+  ``last_query_probes``.
+"""
+
+from __future__ import annotations
+
+from repro.core.interfaces import RangeFilter
+from repro.filters.bloom import BloomFilter
+
+_DEFAULT_LEVELS = 16
+
+
+class Rosetta(RangeFilter):
+    """Dyadic Bloom-filter hierarchy.
+
+    Parameters
+    ----------
+    keys:
+        The integer key set.
+    bits_per_key:
+        Total memory budget across all levels.
+    n_levels:
+        Bottom levels carrying Bloom filters; ranges longer than
+        ``2**(n_levels-1)`` cannot be decomposed into covered dyadic nodes
+        and return True unfiltered.
+    bottom_fraction:
+        Fraction of the budget given to the bottom (full-prefix) level —
+        Rosetta's tuning knob (ablation A4).
+    """
+
+    def __init__(
+        self,
+        keys: list[int],
+        *,
+        key_bits: int = 48,
+        bits_per_key: float = 16.0,
+        n_levels: int = _DEFAULT_LEVELS,
+        bottom_fraction: float = 0.5,
+        seed: int = 0,
+    ):
+        if not 1 <= n_levels <= key_bits:
+            raise ValueError("n_levels must be in [1, key_bits]")
+        if not 0 < bottom_fraction <= 1:
+            raise ValueError("bottom_fraction must be in (0, 1]")
+        self.key_bits = key_bits
+        self.n_levels = n_levels
+        self.seed = seed
+        self._n = len(keys)
+        n = max(1, self._n)
+
+        # Memory split: bottom level gets bottom_fraction, the rest is spread
+        # evenly over the upper levels.
+        budgets = self._level_budgets(bits_per_key, n_levels, bottom_fraction)
+        self._filters: list[BloomFilter | None] = []
+        for level, budget in enumerate(budgets):
+            if budget < 0.25:
+                self._filters.append(None)  # too little memory to be useful
+                continue
+            epsilon = min(0.99, max(1e-9, 0.6185**budget))  # ε = 0.6185^(m/n)
+            self._filters.append(BloomFilter(n, epsilon, seed=seed ^ 0xA5 ^ level))
+        for key in keys:
+            if key < 0 or key >= 1 << key_bits:
+                raise ValueError("key out of universe range")
+            for depth_from_bottom, filt in enumerate(self._filters):
+                if filt is not None:
+                    filt.insert(key >> depth_from_bottom)
+        self.last_query_probes = 0
+
+    @staticmethod
+    def _level_budgets(
+        bits_per_key: float, n_levels: int, bottom_fraction: float
+    ) -> list[float]:
+        """bits/key for each level; index 0 is the bottom (full prefixes)."""
+        if n_levels == 1:
+            return [bits_per_key]
+        upper = (bits_per_key * (1 - bottom_fraction)) / (n_levels - 1)
+        return [bits_per_key * bottom_fraction] + [upper] * (n_levels - 1)
+
+    # -- queries -----------------------------------------------------------------
+
+    PROBE_LIMIT = 4096
+
+    def _doubt(self, prefix: int, depth_from_bottom: int) -> bool:
+        """Is some key under *prefix* present?  Recursive doubting probe.
+
+        A probe budget caps the recursion: once exceeded, the filter gives
+        up and answers True — the paper's "no filtering for long ranges /
+        high CPU overhead" regime, made explicit.
+        """
+        if self.last_query_probes > self.PROBE_LIMIT:
+            return True
+        self.last_query_probes += 1
+        filt = self._filters[depth_from_bottom] if depth_from_bottom < self.n_levels else None
+        if filt is not None and not filt.may_contain(prefix):
+            return False
+        if depth_from_bottom == 0:
+            return True  # bottom level confirmed (up to its ε)
+        return self._doubt(prefix << 1, depth_from_bottom - 1) or self._doubt(
+            (prefix << 1) | 1, depth_from_bottom - 1
+        )
+
+    def may_intersect(self, lo: int, hi: int) -> bool:
+        if lo > hi:
+            raise ValueError("empty range: lo > hi")
+        if self._n == 0:
+            return False
+        self.last_query_probes = 0
+        max_depth = self.n_levels - 1
+        # Walk dyadic nodes left to right, greedily taking the largest
+        # aligned block that fits both the range and the filter hierarchy.
+        pos = lo
+        while pos <= hi:
+            depth = min(max_depth, (pos & -pos).bit_length() - 1 if pos else max_depth)
+            while depth > 0 and pos + (1 << depth) - 1 > hi:
+                depth -= 1
+            if self._doubt(pos >> depth, depth):
+                return True
+            pos += 1 << depth
+        return False
+
+    def may_contain(self, key: int) -> bool:
+        self.last_query_probes = 1
+        filt = self._filters[0]
+        return filt.may_contain(key) if filt is not None else True
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def size_in_bits(self) -> int:
+        return sum(f.size_in_bits for f in self._filters if f is not None)
+
+    def max_filtered_range(self) -> int:
+        """Ranges longer than this decompose into nodes above the hierarchy
+        and receive no filtering."""
+        return 1 << (self.n_levels - 1)

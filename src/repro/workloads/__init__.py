@@ -1,0 +1,37 @@
+"""Workload generators used by the experiment suite.
+
+All generators are seeded and deterministic.  They substitute for the
+proprietary traces and real datasets the surveyed systems were evaluated on
+(see DESIGN.md "Substitutions").
+"""
+
+from repro.workloads.dna import (
+    extract_kmers,
+    random_genome,
+    sequencing_experiments,
+)
+from repro.workloads.synthetic import (
+    adversarial_repeat_queries,
+    correlated_range_queries,
+    disjoint_key_sets,
+    random_key_set,
+    random_range_queries,
+    zipf_multiset,
+    zipf_queries,
+)
+from repro.workloads.urls import url_universe, url_query_stream
+
+__all__ = [
+    "adversarial_repeat_queries",
+    "correlated_range_queries",
+    "disjoint_key_sets",
+    "extract_kmers",
+    "random_genome",
+    "random_key_set",
+    "random_range_queries",
+    "sequencing_experiments",
+    "url_query_stream",
+    "url_universe",
+    "zipf_multiset",
+    "zipf_queries",
+]

@@ -1,0 +1,79 @@
+"""Synthetic URL workloads (substitute for malicious-URL feeds).
+
+Produces a URL universe, a malicious subset (the *yes list*), a set of
+popular benign URLs that must never be blocked (candidate *no list*), and
+skewed query streams — the setting of the tutorial's §3.3 blocking case
+study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.synthetic import zipf_queries
+
+_TLDS = ["com", "org", "net", "io", "dev", "info"]
+_WORDS = [
+    "alpha", "bravo", "cedar", "delta", "ember", "falcon", "garnet", "harbor",
+    "indigo", "juniper", "krypton", "lumen", "meadow", "nimbus", "onyx",
+    "prairie", "quartz", "raven", "summit", "timber", "umber", "vortex",
+    "willow", "xenon", "yonder", "zephyr",
+]
+
+
+def _make_url(rng: np.random.Generator) -> str:
+    host = "-".join(
+        _WORDS[int(i)] for i in rng.integers(0, len(_WORDS), size=2)
+    )
+    tld = _TLDS[int(rng.integers(0, len(_TLDS)))]
+    path = "/".join(
+        _WORDS[int(i)] for i in rng.integers(0, len(_WORDS), size=int(rng.integers(1, 4)))
+    )
+    token = int(rng.integers(0, 1 << 32))
+    return f"https://{host}.{tld}/{path}?id={token:08x}"
+
+
+def url_universe(n_urls: int, seed: int = 0) -> list[str]:
+    """*n_urls* distinct synthetic URLs."""
+    rng = np.random.default_rng(seed)
+    urls: set[str] = set()
+    while len(urls) < n_urls:
+        urls.add(_make_url(rng))
+    return sorted(urls)
+
+
+def split_malicious(
+    urls: list[str], malicious_fraction: float, seed: int = 0
+) -> tuple[list[str], list[str]]:
+    """Partition *urls* into (malicious, benign)."""
+    rng = np.random.default_rng(seed)
+    n_bad = int(len(urls) * malicious_fraction)
+    order = rng.permutation(len(urls))
+    malicious = [urls[i] for i in order[:n_bad]]
+    benign = [urls[i] for i in order[n_bad:]]
+    return malicious, benign
+
+
+def url_query_stream(
+    benign: list[str],
+    malicious: list[str],
+    n_queries: int,
+    malicious_rate: float = 0.05,
+    skew: float = 1.0,
+    seed: int = 0,
+) -> list[tuple[str, bool]]:
+    """A browsing stream of (url, is_malicious) pairs.
+
+    Benign traffic is Zipf-skewed (users revisit popular sites — exactly why
+    a popular benign URL that false-positives is so costly); malicious hits
+    are injected uniformly at *malicious_rate*.
+    """
+    rng = np.random.default_rng(seed)
+    benign_draws = zipf_queries(benign, n_queries, skew, seed ^ 0xB19)
+    stream: list[tuple[str, bool]] = []
+    for url in benign_draws:
+        if malicious and rng.random() < malicious_rate:
+            stream.append((malicious[int(rng.integers(len(malicious)))], True))
+        else:
+            stream.append((url, False))
+    return stream

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.synthetic import disjoint_key_sets
+
+
+@pytest.fixture(scope="session")
+def small_keys():
+    """500 member keys + 2000 disjoint negatives (session-cached)."""
+    return disjoint_key_sets(500, 2000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_keys():
+    """4096 member keys + 20000 disjoint negatives (session-cached)."""
+    return disjoint_key_sets(4096, 20000, seed=11)
+
+
+def measured_fpr(filt, negatives) -> float:
+    """Fraction of negatives a filter wrongly accepts."""
+    hits = sum(1 for key in negatives if filt.may_contain(key))
+    return hits / len(negatives)

@@ -1,0 +1,182 @@
+"""Tests for the adaptive filters and the dictionary harness (§2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive.adaptive_cuckoo import AdaptiveCuckooFilter
+from repro.adaptive.adaptive_quotient import AdaptiveQuotientFilter
+from repro.adaptive.dictionary import FilteredDictionary
+from repro.adaptive.telescoping import TelescopingFilter
+from repro.core.errors import DeletionError
+from repro.filters.bloom import BloomFilter
+from repro.workloads.synthetic import disjoint_key_sets
+
+ADAPTIVE_FACTORIES = [
+    lambda n: AdaptiveCuckooFilter.for_capacity(n, 0.02, seed=3),
+    lambda n: TelescopingFilter.for_capacity(n, 0.02, seed=3),
+    lambda n: AdaptiveQuotientFilter.for_capacity(n, 0.02, seed=3),
+]
+ADAPTIVE_IDS = ["acf", "telescoping", "aqf"]
+
+
+@pytest.fixture(params=ADAPTIVE_FACTORIES, ids=ADAPTIVE_IDS)
+def make_adaptive(request):
+    return request.param
+
+
+class TestAdaptiveCommon:
+    def test_no_false_negatives(self, make_adaptive, small_keys):
+        members, _ = small_keys
+        filt = make_adaptive(len(members))
+        for key in members:
+            filt.insert(key)
+        assert all(filt.may_contain(k) for k in members)
+
+    def test_adapting_fixes_the_false_positive(self, make_adaptive, small_keys):
+        members, negatives = small_keys
+        filt = make_adaptive(len(members))
+        for key in members:
+            filt.insert(key)
+        fps = [k for k in negatives if filt.may_contain(k)]
+        if not fps:
+            pytest.skip("no false positive found at this seed")
+        for fp_key in fps:
+            filt.report_false_positive(fp_key)
+        fixed = sum(1 for k in fps if not filt.may_contain(k))
+        assert fixed >= 0.9 * len(fps)
+
+    def test_adapting_preserves_members(self, make_adaptive, small_keys):
+        members, negatives = small_keys
+        filt = make_adaptive(len(members))
+        for key in members:
+            filt.insert(key)
+        for key in negatives[:500]:
+            if filt.may_contain(key):
+                filt.report_false_positive(key)
+        assert all(filt.may_contain(k) for k in members)
+
+    def test_deletes(self, make_adaptive):
+        filt = make_adaptive(100)
+        filt.insert("x")
+        filt.delete("x")
+        assert not filt.may_contain("x")
+        with pytest.raises(DeletionError):
+            filt.delete("never")
+
+    def test_report_on_nonmatching_key_is_noop(self, make_adaptive):
+        filt = make_adaptive(100)
+        filt.insert("a")
+        before = filt.adaptations
+        filt.report_false_positive("key-that-does-not-match-anything-hopefully")
+        # Either it matched (rare) and adapted, or nothing changed.
+        assert filt.adaptations >= before
+
+
+class TestMonotonicity:
+    def test_aqf_adaptation_is_monotone(self, small_keys):
+        """Fixing key B must not resurrect previously fixed key A."""
+        members, negatives = small_keys
+        aqf = AdaptiveQuotientFilter.for_capacity(len(members), 0.05, seed=5)
+        for key in members:
+            aqf.insert(key)
+        fps = [k for k in negatives if aqf.may_contain(k)]
+        if len(fps) < 2:
+            pytest.skip("need at least two false positives")
+        fixed: list = []
+        for fp_key in fps:
+            aqf.report_false_positive(fp_key)
+            fixed.append(fp_key)
+            resurrected = [k for k in fixed if aqf.may_contain(k)]
+            assert not resurrected
+
+    def test_extension_bits_grow_with_adaptations(self, small_keys):
+        members, negatives = small_keys
+        aqf = AdaptiveQuotientFilter.for_capacity(len(members), 0.05, seed=5)
+        for key in members:
+            aqf.insert(key)
+        base_size = aqf.size_in_bits
+        for key in negatives[:2000]:
+            if aqf.may_contain(key):
+                aqf.report_false_positive(key)
+        if aqf.adaptations:
+            assert aqf.size_in_bits > base_size
+            assert aqf.adaptivity_bits > 0
+
+
+class TestFilteredDictionary:
+    def test_get_put_round_trip(self):
+        d = FilteredDictionary(BloomFilter(100, 0.01, seed=1))
+        d.put("k", "v")
+        assert d.get("k") == "v"
+        assert "k" in d
+        assert d.get("missing", "default") == "default"
+
+    def test_negative_query_without_fp_costs_no_io(self):
+        d = FilteredDictionary(BloomFilter(100, 0.001, seed=1))
+        d.put("k", "v")
+        d.get("definitely-absent")
+        # Either 0 reads (filter said no) or 1 (it was an FP); with ε=0.001
+        # a specific single key is almost surely filtered.
+        assert d.stats.disk_reads <= 1
+
+    def test_false_positive_detected_and_counted(self, small_keys):
+        members, negatives = small_keys
+        bloom = BloomFilter(len(members), 0.2, seed=2)
+        d = FilteredDictionary(bloom)
+        for key in members:
+            d.put(key, key)
+        for key in negatives:
+            d.get(key)
+        assert d.stats.false_positives > 0
+        assert d.stats.disk_reads == d.stats.false_positives  # no member reads
+        assert 0 < d.stats.wasted_read_rate < 1
+
+    def test_adaptive_feedback_loop(self, small_keys):
+        members, negatives = small_keys
+        acf = AdaptiveCuckooFilter.for_capacity(len(members), 0.05, seed=3)
+        d = FilteredDictionary(acf)
+        for key in members:
+            d.put(key, key)
+        # First pass discovers FPs and adapts; second pass must be cleaner.
+        for key in negatives:
+            d.get(key)
+        first = d.stats.false_positives
+        d.stats.false_positives = 0
+        d.stats.queries = 0
+        for key in negatives:
+            d.get(key)
+        assert d.stats.false_positives < max(1, first)
+
+    def test_remove(self):
+        from repro.filters.quotient import QuotientFilter
+
+        d = FilteredDictionary(QuotientFilter.for_capacity(10, 0.01))
+        d.put("k", 1)
+        d.remove("k")
+        assert d.get("k") is None
+
+
+class TestStaticVsAdaptiveAdversary:
+    def test_static_filter_repeats_errors_adaptive_does_not(self, small_keys):
+        """The §2.3 headline: replaying one discovered FP costs a static
+        filter a wasted I/O every single time; an adaptive filter pays once."""
+        members, negatives = small_keys
+        bloom = BloomFilter(len(members), 0.1, seed=4)
+        acf = AdaptiveCuckooFilter.for_capacity(len(members), 0.1, seed=4)
+        d_static = FilteredDictionary(bloom)
+        d_adaptive = FilteredDictionary(acf)
+        for key in members:
+            d_static.put(key, key)
+            d_adaptive.put(key, key)
+
+        fp_static = next((k for k in negatives if bloom.may_contain(k)), None)
+        fp_adaptive = next((k for k in negatives if acf.may_contain(k)), None)
+        if fp_static is None or fp_adaptive is None:
+            pytest.skip("no false positive at this seed")
+
+        for _ in range(50):
+            d_static.get(fp_static)
+            d_adaptive.get(fp_adaptive)
+        assert d_static.stats.false_positives == 50
+        assert d_adaptive.stats.false_positives <= 3

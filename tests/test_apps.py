@@ -1,0 +1,168 @@
+"""Tests for circular log, joins, and the networking blocklists (§3.1, §3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.blocklist import AdaptiveBlocklist, Blocklist, StaticNoListBlocklist
+from repro.apps.circlog import CircularLogStore
+from repro.apps.joins import filtered_join, unfiltered_join
+from repro.core.errors import DeletionError
+from repro.filters.bloom import BloomFilter
+from repro.filters.cuckoo import CuckooFilter
+from repro.filters.xor import XorFilter
+from repro.workloads.urls import split_malicious, url_query_stream, url_universe
+
+
+class TestCircularLog:
+    def test_put_get(self):
+        store = CircularLogStore(seed=1)
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.get("a") == 1
+        assert store.get("b") == 2
+        assert store.get("c") is None
+
+    def test_update_supersedes(self):
+        store = CircularLogStore(seed=1)
+        store.put("k", 1)
+        store.put("k", 2)
+        assert store.get("k") == 2
+        assert store.live_records == 1
+        assert store.log_records == 2  # old version still occupies the log
+
+    def test_delete(self):
+        store = CircularLogStore(seed=1)
+        store.put("k", 1)
+        store.delete("k")
+        assert store.get("k") is None
+        with pytest.raises(DeletionError):
+            store.delete("k")
+
+    def test_gc_reclaims_dead_records(self):
+        store = CircularLogStore(seed=1, segment_records=64)
+        for i in range(64):
+            store.put(f"key{i % 8}", i)  # heavy overwrites: mostly dead
+        live_before = store.live_records
+        relocated = store.gc()
+        assert relocated == live_before  # only live records move
+        assert store.log_records == live_before
+        for i in range(8):
+            assert store.get(f"key{i}") == 56 + i
+
+    def test_maplet_expands_with_log(self):
+        store = CircularLogStore(initial_capacity=32, seed=2)
+        for i in range(500):
+            store.put(i, i * 2)
+        assert store.get(123) == 246
+        assert store.maplet._qf.n_slots > 64  # expanded past initial size
+
+    def test_lookup_single_io_mostly(self):
+        store = CircularLogStore(seed=3)
+        for i in range(300):
+            store.put(i, i)
+        store.stats.lookup_ios = 0
+        store.stats.lookups = 0
+        for i in range(300):
+            assert store.get(i) == i
+        assert store.stats.lookup_ios / store.stats.lookups < 1.3
+
+
+class TestJoins:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        build = [(k, f"b{k}") for k in range(0, 1000, 10)]  # 100 rows
+        probe = [(k, f"p{k}") for k in range(5000)]  # 2% selectivity
+        return build, probe
+
+    def test_results_match_unfiltered(self, tables):
+        build, probe = tables
+        expected, _ = unfiltered_join(build, probe)
+        for factory in (
+            lambda keys: BloomFilter.from_keys(keys, 0.01, seed=1),
+            lambda keys: XorFilter.build(keys, 0.01, seed=1),
+        ):
+            got, _ = filtered_join(build, probe, factory)
+            assert sorted(got) == sorted(expected)
+
+    def test_cuckoo_filtered_join(self, tables):
+        build, probe = tables
+
+        def factory(keys):
+            cf = CuckooFilter.for_capacity(len(keys), 0.01, seed=2)
+            for key in keys:
+                cf.insert(key)
+            return cf
+
+        got, stats = filtered_join(build, probe, factory)
+        expected, _ = unfiltered_join(build, probe)
+        assert sorted(got) == sorted(expected)
+        assert stats.shipping_reduction > 0.9
+
+    def test_shipping_reduction_tracks_selectivity(self, tables):
+        build, probe = tables
+        _, stats = filtered_join(
+            build, probe, lambda keys: BloomFilter.from_keys(keys, 0.01, seed=1)
+        )
+        # 2% of rows qualify; the filter should discard ~98% minus FPs.
+        assert stats.shipping_reduction > 0.95
+        assert stats.false_passes <= 0.02 * stats.probe_rows
+
+    def test_unfiltered_ships_everything(self, tables):
+        build, probe = tables
+        _, stats = unfiltered_join(build, probe)
+        assert stats.rows_passed_filter == stats.probe_rows
+
+
+class TestBlocklists:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        urls = url_universe(2000, seed=61)
+        malicious, benign = split_malicious(urls, 0.2, seed=62)
+        stream = url_query_stream(
+            benign, malicious, 20_000, malicious_rate=0.05, skew=1.2, seed=63
+        )
+        return malicious, benign, stream
+
+    def _run(self, blocklist, stream):
+        for url, is_malicious in stream:
+            blocklist.handle(url, is_malicious)
+        return blocklist.stats
+
+    def test_no_missed_malicious_ever(self, workload):
+        malicious, _, stream = workload
+        for bl in (
+            Blocklist(malicious, epsilon=0.02, seed=1),
+            AdaptiveBlocklist(malicious, epsilon=0.02, seed=1),
+        ):
+            stats = self._run(bl, stream)
+            assert stats.missed_malicious == 0
+            assert stats.blocked_malicious > 0
+
+    def test_plain_blocklist_repeats_false_blocks(self, workload):
+        malicious, _, stream = workload
+        stats = self._run(Blocklist(malicious, epsilon=0.05, seed=2), stream)
+        # Zipf-hot benign URLs keep re-hitting the same FPs.
+        assert stats.false_blocks > 0
+
+    def test_static_no_list_protects_hot_urls(self, workload):
+        malicious, benign, stream = workload
+        plain = self._run(Blocklist(malicious, epsilon=0.05, seed=3), stream)
+        # Protect the hottest benign URLs (Zipf rank order = list order).
+        protected = benign[:200]
+        nolist = self._run(
+            StaticNoListBlocklist(malicious, protected, epsilon=0.05, seed=3), stream
+        )
+        assert nolist.false_blocks <= plain.false_blocks
+
+    def test_adaptive_eliminates_repeat_false_blocks(self, workload):
+        malicious, _, stream = workload
+        plain = self._run(Blocklist(malicious, epsilon=0.05, seed=4), stream)
+        adaptive = self._run(AdaptiveBlocklist(malicious, epsilon=0.05, seed=4), stream)
+        if plain.false_blocks:
+            assert adaptive.false_blocks < plain.false_blocks
+
+    def test_no_list_rejects_malicious_entries(self, workload):
+        malicious, _, _ = workload
+        with pytest.raises(ValueError):
+            StaticNoListBlocklist(malicious, [malicious[0]], seed=5)

@@ -1,0 +1,105 @@
+"""Tests for standard and blocked Bloom filters."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.analysis import bloom_bits_per_key
+from repro.filters.bloom import BlockedBloomFilter, BloomFilter
+from tests.conftest import measured_fpr
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self, small_keys):
+        members, _ = small_keys
+        bloom = BloomFilter(len(members), 0.01, seed=1)
+        for key in members:
+            bloom.insert(key)
+        assert all(bloom.may_contain(k) for k in members)
+
+    def test_fpr_near_target(self, medium_keys):
+        members, negatives = medium_keys
+        bloom = BloomFilter(len(members), 0.01, seed=1)
+        for key in members:
+            bloom.insert(key)
+        assert measured_fpr(bloom, negatives) <= 0.02
+
+    def test_space_matches_formula(self):
+        bloom = BloomFilter(1000, 2**-8)
+        expected = 1000 * bloom_bits_per_key(2**-8)
+        assert math.isclose(bloom.size_in_bits, expected, rel_tol=0.01)
+
+    def test_fill_fraction_half_at_capacity(self, medium_keys):
+        members, _ = medium_keys
+        bloom = BloomFilter(len(members), 0.01, seed=2)
+        for key in members:
+            bloom.insert(key)
+        assert 0.4 < bloom.fill_fraction < 0.6
+
+    def test_contains_dunder(self):
+        bloom = BloomFilter(10, 0.01)
+        bloom.insert("k")
+        assert "k" in bloom
+
+    def test_len(self):
+        bloom = BloomFilter(10, 0.01)
+        bloom.insert("a")
+        bloom.insert("b")
+        assert len(bloom) == 2
+
+    def test_no_delete_support(self):
+        bloom = BloomFilter(10, 0.01)
+        bloom.insert("a")
+        with pytest.raises(NotImplementedError):
+            bloom.delete("a")
+
+    def test_custom_hash_count(self):
+        bloom = BloomFilter(100, 0.01, n_hashes=2)
+        assert bloom.n_hashes == 2
+
+    def test_from_keys(self):
+        bloom = BloomFilter.from_keys(["x", "y"], 0.01)
+        assert "x" in bloom and "y" in bloom and len(bloom) == 2
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 0.01)
+        with pytest.raises(ValueError):
+            BloomFilter(10, 0.0)
+        with pytest.raises(ValueError):
+            BloomFilter(10, 0.01, n_hashes=0)
+
+    def test_empty_bits_per_key_nan(self):
+        assert math.isnan(BloomFilter(10, 0.01).bits_per_key)
+
+
+class TestBlockedBloomFilter:
+    def test_no_false_negatives(self, small_keys):
+        members, _ = small_keys
+        bloom = BlockedBloomFilter(len(members), 0.01, seed=1)
+        for key in members:
+            bloom.insert(key)
+        assert all(bloom.may_contain(k) for k in members)
+
+    def test_fpr_reasonable(self, medium_keys):
+        # Blocked Bloom pays a modest FPR penalty for one-access queries.
+        members, negatives = medium_keys
+        bloom = BlockedBloomFilter(len(members), 0.01, seed=1)
+        for key in members:
+            bloom.insert(key)
+        assert measured_fpr(bloom, negatives) <= 0.05
+
+    def test_positions_within_one_block(self):
+        bloom = BlockedBloomFilter(10000, 0.01, seed=3)
+        for key in range(50):
+            positions = bloom._positions(key)
+            blocks = {p // BlockedBloomFilter.BLOCK_BITS for p in positions}
+            assert len(blocks) == 1
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BlockedBloomFilter(0, 0.01)
+        with pytest.raises(ValueError):
+            BlockedBloomFilter(10, 1.0)

@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "quotient" in out
+        assert "§2.5" in out
+        assert "adaptive" in out
+
+    def test_space(self, capsys):
+        assert main(["space", "--epsilon", "0.00390625", "--n", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "lower bound" in out
+        assert "8.000" in out  # log2(1/2^-8)
+        assert "KiB" in out
+
+    def test_space_rejects_bad_epsilon(self):
+        with pytest.raises(SystemExit):
+            main(["space", "--epsilon", "2.0"])
+
+    def test_monkey(self, capsys):
+        assert main(["monkey", "--levels", "10,100,1000", "--bits-per-key", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "sum of FPRs" in out
+        # Monkey's total must print lower than uniform's.
+        line = [l for l in out.splitlines() if "sum of FPRs" in l][0]
+        monkey_total, uniform_total = map(float, line.split()[-2:])
+        assert monkey_total < uniform_total
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,165 @@
+"""Tests for the core API: registry, analysis formulas, interfaces."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.analysis import (
+    bloom_bits_per_key,
+    bloom_fpr,
+    bloom_optimal_hashes,
+    cuckoo_bits_per_key,
+    information_lower_bound_bits_per_key,
+    quotient_bits_per_key,
+    range_filter_lower_bound_bits_per_key,
+    ribbon_bits_per_key,
+    xor_bits_per_key,
+    xor_plus_bits_per_key,
+)
+from repro.core.interfaces import (
+    AdaptiveFilter,
+    CountingFilter,
+    DynamicFilter,
+    ExpandableFilter,
+    StaticFilter,
+)
+from repro.core.registry import FEATURE_MATRIX, available_filters, make_filter
+
+
+class TestAnalysis:
+    def test_lower_bound(self):
+        assert information_lower_bound_bits_per_key(2**-8) == 8.0
+
+    def test_paper_ordering_at_practical_epsilon(self):
+        """§2/§2.7: lower bound < ribbon < xor+ < xor < bloom; QF/cuckoo add
+        constant overhead to the bound."""
+        for eps in (2**-8, 2**-16):
+            lb = information_lower_bound_bits_per_key(eps)
+            assert lb < ribbon_bits_per_key(eps) < xor_plus_bits_per_key(eps)
+            assert xor_plus_bits_per_key(eps) < xor_bits_per_key(eps)
+            assert xor_bits_per_key(eps) < bloom_bits_per_key(eps)
+            assert quotient_bits_per_key(eps) == pytest.approx(lb + 2.125)
+            assert cuckoo_bits_per_key(eps) == pytest.approx(lb + 3)
+
+    def test_bloom_overhead_factor(self):
+        assert bloom_bits_per_key(0.01) / information_lower_bound_bits_per_key(
+            0.01
+        ) == pytest.approx(1.44, abs=0.01)
+
+    def test_quotient_overhead_percentages(self):
+        """The paper's worked example: at ε=2⁻⁸ the 2.125n overhead is ~25%,
+        at 2⁻¹⁶ it is ~12.5%."""
+        assert 2.125 / 8 == pytest.approx(0.266, abs=0.01)
+        assert 2.125 / 16 == pytest.approx(0.133, abs=0.01)
+
+    def test_bloom_fpr_and_k(self):
+        assert bloom_optimal_hashes(14.4) == 10
+        # 14.4 bits/key at optimal k ↔ ε = 0.001; 9.57 bits/key ↔ ε = 0.01.
+        assert bloom_fpr(14.4, 10) == pytest.approx(0.001, rel=0.5)
+        assert bloom_fpr(bloom_bits_per_key(0.01), 7) == pytest.approx(0.01, rel=0.5)
+        assert bloom_fpr(0, 1) == 1.0
+
+    def test_range_lower_bound(self):
+        assert range_filter_lower_bound_bits_per_key(0.01, 1 << 10) == pytest.approx(
+            math.log2((1 << 10) / 0.01)
+        )
+        with pytest.raises(ValueError):
+            range_filter_lower_bound_bits_per_key(0.01, 0)
+
+    def test_epsilon_validation(self):
+        for fn in (
+            bloom_bits_per_key,
+            quotient_bits_per_key,
+            cuckoo_bits_per_key,
+            xor_bits_per_key,
+            xor_plus_bits_per_key,
+            ribbon_bits_per_key,
+        ):
+            with pytest.raises(ValueError):
+                fn(0.0)
+            with pytest.raises(ValueError):
+                fn(1.0)
+
+
+class TestRegistry:
+    DYNAMIC_NAMES = [
+        "bloom", "blocked-bloom", "prefix", "quotient", "cuckoo",
+        "vector-quotient", "morton",
+        "counting-bloom", "dleft", "spectral-bloom", "cqf",
+        "chained", "scalable-bloom", "naive-expandable-qf",
+        "dynamic-cuckoo", "bentley-saxe-xor",
+        "taffy-cuckoo", "infinifilter", "aleph",
+        "adaptive-cuckoo", "telescoping", "adaptive-quotient",
+    ]
+    STATIC_NAMES = ["xor", "xor-plus", "ribbon"]
+
+    def test_matrix_covers_all_sections(self):
+        sections = {f.paper_section for f in FEATURE_MATRIX.values()}
+        assert {"§2", "§2.1", "§2.2", "§2.3", "§2.4", "§2.5", "§2.6", "§2.7", "§2.8"} <= sections
+
+    def test_available_filters_sorted(self):
+        names = available_filters()
+        assert names == sorted(names)
+        assert "quotient" in names
+
+    @pytest.mark.parametrize("name", DYNAMIC_NAMES)
+    def test_make_dynamic_filters(self, name):
+        filt = make_filter(name, capacity=200, epsilon=0.01, seed=1)
+        filt.insert("hello")
+        assert filt.may_contain("hello")
+        features = FEATURE_MATRIX[name]
+        if features.deletes:
+            filt.delete("hello")
+            assert not filt.may_contain("hello")
+
+    @pytest.mark.parametrize("name", STATIC_NAMES)
+    def test_make_static_filters(self, name):
+        filt = make_filter(name, keys=["a", "b", "c"], epsilon=0.01, seed=1)
+        assert all(filt.may_contain(k) for k in ("a", "b", "c"))
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown filter"):
+            make_filter("magic")
+
+    def test_static_requires_keys(self):
+        with pytest.raises(ValueError, match="static"):
+            make_filter("xor", capacity=10)
+
+    def test_dynamic_requires_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            make_filter("bloom", keys=[1, 2])
+
+    def test_specialised_constructors_signposted(self):
+        with pytest.raises(ValueError, match="specialised"):
+            make_filter("surf", keys=[1, 2])
+
+    def test_feature_flags_match_classes(self):
+        from repro.expandable.taffy import TaffyCuckooFilter
+
+        taffy = FEATURE_MATRIX["taffy-cuckoo"]
+        assert taffy.expandable and not taffy.deletes
+        assert issubclass(TaffyCuckooFilter, ExpandableFilter)
+        assert not TaffyCuckooFilter.supports_deletes
+
+
+class TestInterfaceHierarchy:
+    def test_counting_is_dynamic(self):
+        assert issubclass(CountingFilter, DynamicFilter)
+
+    def test_adaptive_is_dynamic(self):
+        assert issubclass(AdaptiveFilter, DynamicFilter)
+
+    def test_static_inserts_blocked(self):
+        from repro.filters.xor import XorFilter
+
+        assert issubclass(XorFilter, StaticFilter)
+
+    def test_insert_autogrow_contract(self):
+        from repro.expandable.chaining import ScalableBloomFilter
+
+        sbf = ScalableBloomFilter(8, 0.01, seed=1)
+        for i in range(100):
+            sbf.insert_autogrow(i)
+        assert all(sbf.may_contain(i) for i in range(100))

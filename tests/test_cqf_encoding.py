@@ -1,0 +1,94 @@
+"""Round-trip and space tests for the physical CQF counter encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counting.cqf_encoding import decode_run, encode_run, run_slot_cost
+
+R_BITS = 8
+
+
+class TestRoundTrip:
+    def test_simple_cases(self):
+        cases = [
+            {5: 1},
+            {5: 2},
+            {5: 3},
+            {5: 100},
+            {0: 1},
+            {0: 7},
+            {1: 50},  # unary digit regime
+            {3: 1, 7: 2, 9: 500},
+            {0: 3, 1: 4, 200: 9},
+        ]
+        for counts in cases:
+            slots = encode_run(counts, R_BITS)
+            assert decode_run(slots, R_BITS) == counts, counts
+
+    @given(
+        counts=st.dictionaries(
+            st.integers(min_value=0, max_value=(1 << R_BITS) - 1),
+            st.integers(min_value=1, max_value=10_000),
+            min_size=0,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_encode_decode_identity(self, counts):
+        slots = encode_run(counts, R_BITS)
+        assert decode_run(slots, R_BITS) == counts
+
+    @given(
+        counts=st.dictionaries(
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=1, max_value=1000),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_small_remainder_width(self, counts):
+        slots = encode_run(counts, 4)
+        assert decode_run(slots, 4) == counts
+
+
+class TestSpace:
+    def test_singletons_cost_one_slot(self):
+        assert run_slot_cost({7: 1}, R_BITS) == 1
+        assert run_slot_cost({3: 1, 9: 1, 200: 1}, R_BITS) == 3
+
+    def test_count_two_costs_two(self):
+        assert run_slot_cost({7: 2}, R_BITS) == 2
+
+    def test_logarithmic_counter_growth(self):
+        # count 10^6 on an 8-bit remainder: digits base x cover it in a
+        # handful of slots, not a million.
+        assert run_slot_cost({200: 1_000_000}, R_BITS) <= 2 + 3
+        c1 = run_slot_cost({200: 1_000}, R_BITS)
+        c2 = run_slot_cost({200: 1_000_000}, R_BITS)
+        assert c2 - c1 <= 2  # tripling the magnitude adds ~log slots
+
+    def test_remainder_zero_repetition_regime(self):
+        # The documented simplification: x = 0 falls back to repetition.
+        assert run_slot_cost({0: 50}, R_BITS) == 50
+
+    def test_slots_fit_remainder_width(self):
+        slots = encode_run({3: 1, 7: 2, 9: 500, 255: 9}, R_BITS)
+        assert all(0 <= s < (1 << R_BITS) for s in slots)
+
+
+class TestErrors:
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_run({1 << R_BITS: 1}, R_BITS)
+        with pytest.raises(ValueError):
+            encode_run({5: 0}, R_BITS)
+        with pytest.raises(ValueError):
+            encode_run({5: 1}, 1)
+
+    def test_rejects_truncated_group(self):
+        slots = encode_run({9: 500}, R_BITS)
+        with pytest.raises(ValueError):
+            decode_run(slots[:-1], R_BITS)

@@ -1,0 +1,126 @@
+"""Boundary and failure-injection tests across the library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import FilterFullError
+from repro.core.registry import FEATURE_MATRIX, make_filter
+
+
+class TestTinyCapacities:
+    @pytest.mark.parametrize(
+        "name",
+        ["bloom", "quotient", "cuckoo", "vector-quotient", "morton", "crate",
+         "cqf", "prefix", "counting-bloom"],
+    )
+    def test_capacity_one(self, name):
+        filt = make_filter(name, capacity=1, epsilon=0.1, seed=1)
+        filt.insert("only")
+        assert filt.may_contain("only")
+
+    @pytest.mark.parametrize("name", ["xor", "xor-plus", "ribbon"])
+    def test_empty_static(self, name):
+        filt = make_filter(name, keys=[], epsilon=0.1, seed=1)
+        assert not filt.may_contain("anything")
+        assert len(filt) == 0
+
+    @pytest.mark.parametrize("name", ["xor", "xor-plus", "ribbon"])
+    def test_singleton_static(self, name):
+        filt = make_filter(name, keys=["one"], epsilon=0.1, seed=1)
+        assert filt.may_contain("one")
+
+
+class TestExtremeEpsilon:
+    def test_very_small_epsilon(self):
+        filt = make_filter("quotient", capacity=64, epsilon=2**-30, seed=2)
+        filt.insert("x")
+        assert filt.may_contain("x")
+        # Essentially zero false positives at this width.
+        fps = sum(1 for i in range(5000) if filt.may_contain(i))
+        assert fps == 0
+
+    def test_near_one_epsilon(self):
+        filt = make_filter("bloom", capacity=64, epsilon=0.5, seed=2)
+        for i in range(64):
+            filt.insert(i)
+        assert all(filt.may_contain(i) for i in range(64))
+
+    def test_invalid_epsilon_everywhere(self):
+        for eps in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                make_filter("quotient", capacity=10, epsilon=eps)
+            with pytest.raises(ValueError):
+                make_filter("cuckoo", capacity=10, epsilon=eps)
+
+
+class TestFullnessSignals:
+    @pytest.mark.parametrize("name", ["quotient", "cqf", "telescoping", "adaptive-quotient"])
+    def test_overfill_raises_not_corrupts(self, name):
+        filt = make_filter(name, capacity=16, epsilon=0.1, seed=3)
+        inserted = []
+        with pytest.raises(FilterFullError):
+            for i in range(10_000):
+                filt.insert(i)
+                inserted.append(i)
+        # Everything accepted before the failure is still present.
+        assert all(filt.may_contain(k) for k in inserted)
+
+    def test_insert_autogrow_never_full(self):
+        filt = make_filter("infinifilter", capacity=16, epsilon=0.05, seed=4)
+        for i in range(3000):
+            filt.insert_autogrow(i)
+        assert all(filt.may_contain(i) for i in range(0, 3000, 61))
+
+
+class TestKeyTypes:
+    @pytest.mark.parametrize("name", ["bloom", "quotient", "cuckoo", "crate"])
+    def test_mixed_key_types_coexist(self, name):
+        filt = make_filter(name, capacity=64, epsilon=0.01, seed=5)
+        keys = [0, -1 & 0xFFFF, "", "unicode-ключ", b"\x00\xff", 2**47]
+        for key in keys:
+            filt.insert(key)
+        assert all(filt.may_contain(k) for k in keys)
+
+    def test_float_keys_rejected(self):
+        filt = make_filter("bloom", capacity=8, epsilon=0.1)
+        with pytest.raises(TypeError):
+            filt.insert(3.14)  # type: ignore[arg-type]
+
+
+class TestRangeBoundaries:
+    def test_universe_edges(self):
+        from repro.rangefilters.snarf import SNARF
+        from repro.rangefilters.surf import SuRF
+
+        top = (1 << 20) - 1
+        keys = [0, top]
+        for filt in (
+            SuRF(keys, key_bits=20, seed=6),
+            SNARF(keys, key_bits=20, multiplier=16, seed=6),
+        ):
+            assert filt.may_intersect(0, 0)
+            assert filt.may_intersect(top, top)
+            assert filt.may_intersect(0, top)
+
+    def test_out_of_universe_keys_rejected(self):
+        from repro.rangefilters.surf import SuRF
+
+        with pytest.raises(ValueError):
+            SuRF([1 << 30], key_bits=20)
+
+
+class TestFeatureMatrixIntegrity:
+    def test_every_entry_has_valid_kind(self):
+        assert all(
+            f.kind in ("static", "semi-dynamic", "dynamic")
+            for f in FEATURE_MATRIX.values()
+        )
+
+    def test_static_filters_do_not_claim_inserts(self):
+        for f in FEATURE_MATRIX.values():
+            if f.kind == "static":
+                assert not f.inserts or f.name == "seesaw"
+
+    def test_deletes_imply_inserts(self):
+        assert all(f.inserts for f in FEATURE_MATRIX.values() if f.deletes)

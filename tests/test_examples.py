@@ -1,0 +1,38 @@
+"""Smoke tests: every example script must run end-to-end.
+
+Examples are the public face of the library; these tests keep them green
+as the API evolves.  Each runs in-process (importing by path) so failures
+surface with real tracebacks.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_all_examples_discovered(self):
+        assert len(EXAMPLE_FILES) >= 6
+        assert "quickstart.py" in EXAMPLE_FILES
+
+    @pytest.mark.parametrize("name", EXAMPLE_FILES)
+    def test_example_runs(self, name, capsys):
+        module = _load(name)
+        module.main()
+        out = capsys.readouterr().out
+        assert len(out) > 100  # produced a real report
+        assert "Traceback" not in out

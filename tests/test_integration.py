@@ -1,0 +1,151 @@
+"""Cross-module integration tests: full pipelines a real deployment runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.lsm import LSMConfig, LSMTree
+from repro.core.serialize import dumps, loads
+from repro.filters.quotient import QuotientFilter
+from repro.rangefilters.grafite import Grafite
+from repro.workloads.synthetic import disjoint_key_sets
+from repro.workloads.ycsb import run_workload
+
+
+class TestStorageEnginePipeline:
+    """Ingest → compact → mixed workload → filter persistence → restart."""
+
+    def test_full_lifecycle(self):
+        config = LSMConfig(
+            compaction="lazy-leveling",
+            memtable_entries=32,
+            size_ratio=4,
+            filter_policy="monkey",
+            largest_level_epsilon=0.01,
+        )
+        tree = LSMTree(config)
+        rng = np.random.default_rng(301)
+        keys = sorted(int(k) for k in rng.choice(1 << 24, 1500, replace=False))
+        for key in keys:
+            tree.put(key, key * 3)
+
+        # Phase 1: mixed workload against ground truth.
+        run_workload(tree, "A", 1000, key_space=keys, seed=302)
+        for key in keys[::37]:
+            got = tree.get(key)
+            assert got is not None  # updates replaced some values; key lives
+
+        # Phase 2: deletes + re-reads.
+        victims = keys[::11]
+        for key in victims:
+            tree.delete(key)
+        tree.flush()
+        assert all(tree.get(k, default="gone") == "gone" for k in victims[:40])
+
+        # Phase 3: persist every run's filter and "restart" them.
+        filters = [
+            run.filter
+            for level in tree._levels
+            for run in level
+            if run.filter is not None
+        ]
+        assert filters
+        for filt in filters:
+            restored = loads(dumps(filt))
+            probe_keys = keys[:100]
+            assert [restored.may_contain(k) for k in probe_keys] == [
+                filt.may_contain(k) for k in probe_keys
+            ]
+
+    def test_adaptive_dictionary_on_lsm_negatives(self):
+        """Adaptive filter guarding an LSM's lookups end to end."""
+        from repro.adaptive.adaptive_quotient import AdaptiveQuotientFilter
+        from repro.adaptive.dictionary import FilteredDictionary
+
+        members, negatives = disjoint_key_sets(800, 4000, seed=303)
+        store = FilteredDictionary(
+            AdaptiveQuotientFilter.for_capacity(800, 0.05, seed=304)
+        )
+        for key in members:
+            store.put(key, key)
+        for _ in range(3):  # three passes: FPs must not repeat
+            for key in negatives:
+                store.get(key)
+        # At most one wasted I/O per distinct discovered FP.
+        assert store.stats.false_positives <= 0.06 * len(negatives)
+
+
+class TestGenomicsPipeline:
+    """Reads → k-mer counting → graph → search index, one data set."""
+
+    def test_reads_to_search(self):
+        from repro.apps.debruijn import FilterBackedDeBruijn
+        from repro.apps.kmers import KmerCounter
+        from repro.apps.mantis import IncrementalMantis
+        from repro.workloads.dna import extract_kmers, random_genome, sequencing_reads
+
+        k = 11
+        genome = random_genome(3000, seed=305)
+        reads = sequencing_reads(genome, 120, 80, seed=306)
+
+        counter = KmerCounter(k, 20_000, exact=True, seed=307)
+        counter.add_reads(reads)
+        read_kmers = {km for read in reads for km in extract_kmers(read, k)}
+        assert counter.n_distinct == len(read_kmers)
+
+        graph = FilterBackedDeBruijn(read_kmers, epsilon=0.05, seed=308)
+        walk = graph.walk(reads[0][:k], max_steps=60)
+        assert all(node in read_kmers for node in walk)
+
+        index = IncrementalMantis(seed=309)
+        exp0 = set(extract_kmers(genome[:1500], k))
+        exp1 = set(extract_kmers(genome[1500:], k))
+        index.add_experiment(exp0)
+        index.add_experiment(exp1)
+        query = list(exp1)[:50]
+        assert 1 in index.query(query, theta=0.8)
+
+    def test_out_of_ram_counting_matches_in_ram(self):
+        from repro.apps.external_counter import ExternalQuotientCounter
+
+        members, _ = disjoint_key_sets(400, 1, seed=310)
+        external = ExternalQuotientCounter(64, 0.001, seed=311)
+        in_ram = QuotientFilter.for_capacity(400, 0.001, seed=311)
+        for key in members:
+            external.add(key)
+            in_ram.insert(key)
+        merged = external.finalize()
+        probes = members + [f"neg{i}" for i in range(500)]
+        agree = sum(
+            merged.may_contain(p) == in_ram.may_contain(p) for p in probes
+        )
+        # Same seed, same fingerprints: members always agree; negatives may
+        # differ only through table-size-dependent splits.
+        assert all(merged.may_contain(k) for k in members)
+        assert agree >= 0.98 * len(probes)
+
+
+class TestRangePipeline:
+    def test_lsm_with_grafite_runs_correct_range_scans(self):
+        factory = lambda keys: Grafite(
+            keys, key_bits=24, max_range=1 << 10, epsilon=0.02, seed=312
+        )
+        tree = LSMTree(
+            LSMConfig(
+                compaction="tiering",
+                memtable_entries=32,
+                range_filter_factory=factory,
+            )
+        )
+        rng = np.random.default_rng(313)
+        data = {}
+        for key in rng.choice(1 << 24, 600, replace=False):
+            tree.put(int(key), int(key))
+            data[int(key)] = int(key)
+        for lo in rng.integers(0, (1 << 24) - 1024, size=60):
+            lo = int(lo)
+            expected = {
+                k: v for k, v in data.items() if lo <= k <= lo + 1023
+            }
+            assert tree.range_query(lo, lo + 1023) == dict(sorted(expected.items()))

@@ -1,0 +1,173 @@
+"""Tests for the LSM-tree simulator (§3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.lsm import LSMConfig, LSMTree
+from repro.rangefilters.prefix_bloom import PrefixBloomFilter
+
+
+def _fill(tree: LSMTree, n: int, seed: int = 0) -> dict[int, int]:
+    rng = np.random.default_rng(seed)
+    keys = rng.choice(1 << 30, size=n, replace=False)
+    data = {}
+    for i, key in enumerate(int(k) for k in keys):
+        tree.put(key, i)
+        data[key] = i
+    return data
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("compaction", ["leveling", "tiering", "lazy-leveling"])
+    def test_get_returns_latest_value(self, compaction):
+        tree = LSMTree(LSMConfig(compaction=compaction, memtable_entries=32))
+        data = _fill(tree, 800, seed=1)
+        for key, value in list(data.items())[::13]:
+            assert tree.get(key) == value
+
+    def test_updates_win(self):
+        tree = LSMTree(LSMConfig(memtable_entries=16))
+        for round_ in range(3):
+            for key in range(100):
+                tree.put(key, (round_, key))
+        for key in range(0, 100, 7):
+            assert tree.get(key) == (2, key)
+
+    def test_missing_key_default(self):
+        tree = LSMTree(LSMConfig(memtable_entries=16))
+        _fill(tree, 100, seed=2)
+        assert tree.get(-5, default="nope") == "nope"
+
+    def test_range_query_correct(self):
+        tree = LSMTree(
+            LSMConfig(
+                memtable_entries=32,
+                range_filter_factory=lambda keys: PrefixBloomFilter(
+                    keys, key_bits=30, prefix_bits=20, seed=3
+                ),
+            )
+        )
+        data = _fill(tree, 500, seed=3)
+        lo, hi = 1 << 28, (1 << 28) + (1 << 26)
+        expected = {k: v for k, v in data.items() if lo <= k <= hi}
+        assert tree.range_query(lo, hi) == dict(sorted(expected.items()))
+
+    def test_range_query_rejects_inverted(self):
+        tree = LSMTree()
+        with pytest.raises(ValueError):
+            tree.range_query(5, 1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LSMConfig(size_ratio=1)
+        with pytest.raises(ValueError):
+            LSMConfig(compaction="magic")
+        with pytest.raises(ValueError):
+            LSMConfig(filter_policy="psychic")
+
+
+class TestStructure:
+    def test_leveling_has_one_run_per_level(self):
+        tree = LSMTree(LSMConfig(compaction="leveling", memtable_entries=16, size_ratio=4))
+        _fill(tree, 2000, seed=4)
+        for level in tree._levels:
+            assert len(level) <= 1
+
+    def test_tiering_bounded_runs_per_level(self):
+        cfg = LSMConfig(compaction="tiering", memtable_entries=16, size_ratio=4)
+        tree = LSMTree(cfg)
+        _fill(tree, 2000, seed=5)
+        for level in tree._levels:
+            assert len(level) < cfg.size_ratio + 1
+
+    def test_write_amp_leveling_exceeds_tiering(self):
+        results = {}
+        for compaction in ("leveling", "tiering"):
+            tree = LSMTree(
+                LSMConfig(compaction=compaction, memtable_entries=16, size_ratio=4)
+            )
+            _fill(tree, 4000, seed=6)
+            results[compaction] = tree.write_amplification
+        assert results["leveling"] > results["tiering"]
+
+    def test_lazy_leveling_between(self):
+        results = {}
+        for compaction in ("leveling", "tiering", "lazy-leveling"):
+            tree = LSMTree(
+                LSMConfig(compaction=compaction, memtable_entries=16, size_ratio=4)
+            )
+            _fill(tree, 4000, seed=6)
+            results[compaction] = tree.write_amplification
+        assert results["tiering"] <= results["lazy-leveling"] <= results["leveling"]
+
+
+class TestFilters:
+    def _negative_lookup_ios(self, filter_policy, n=3000, queries=2000, eps=0.05):
+        tree = LSMTree(
+            LSMConfig(
+                compaction="tiering",
+                memtable_entries=32,
+                size_ratio=4,
+                filter_policy=filter_policy,
+                largest_level_epsilon=eps,
+            )
+        )
+        _fill(tree, n, seed=7)
+        rng = np.random.default_rng(8)
+        for q in rng.integers(1 << 40, 1 << 41, size=queries):
+            tree.get(int(q))
+        return tree
+
+    def test_filters_eliminate_most_negative_ios(self):
+        none = self._negative_lookup_ios("none")
+        monkey = self._negative_lookup_ios("monkey")
+        assert monkey.stats.wasted_lookup_ios < 0.2 * none.stats.wasted_lookup_ios
+
+    def test_monkey_beats_uniform_wasted_ios(self):
+        uniform = self._negative_lookup_ios("uniform")
+        monkey = self._negative_lookup_ios("monkey")
+        assert monkey.sum_of_fprs() < uniform.sum_of_fprs()
+        assert (
+            monkey.stats.wasted_lookup_ios <= uniform.stats.wasted_lookup_ios
+        )
+
+    def test_no_filter_reads_every_run_worst_case(self):
+        tree = self._negative_lookup_ios("none", queries=100)
+        assert tree.stats.wasted_lookup_ios == tree.stats.lookup_ios
+
+    def test_maplet_mode_single_probe(self):
+        tree = LSMTree(
+            LSMConfig(
+                compaction="tiering",
+                memtable_entries=32,
+                size_ratio=4,
+                use_maplet=True,
+                maplet_capacity=1 << 14,
+            )
+        )
+        data = _fill(tree, 2000, seed=9)
+        for key, value in list(data.items())[::17]:
+            assert tree.get(key) == value
+        # Positive lookups probe ~1 run (plus rare fingerprint collisions).
+        assert tree.stats.ios_per_lookup < 1.5
+
+    def test_range_filter_cuts_range_ios(self):
+        def factory(keys):
+            return PrefixBloomFilter(keys, key_bits=30, prefix_bits=22, seed=10)
+
+        with_rf = LSMTree(
+            LSMConfig(memtable_entries=32, compaction="tiering", size_ratio=4,
+                      range_filter_factory=factory)
+        )
+        without_rf = LSMTree(
+            LSMConfig(memtable_entries=32, compaction="tiering", size_ratio=4)
+        )
+        _fill(with_rf, 2000, seed=11)
+        _fill(without_rf, 2000, seed=11)
+        rng = np.random.default_rng(12)
+        for lo in rng.integers(0, (1 << 30) - 256, size=300):
+            with_rf.range_query(int(lo), int(lo) + 255)
+            without_rf.range_query(int(lo), int(lo) + 255)
+        assert with_rf.stats.range_ios < without_rf.stats.range_ios

@@ -1,0 +1,191 @@
+"""Tests for the maplets (§2.4), including PRS/NRS behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import DeletionError, ImmutableFilterError
+from repro.maplets.bloomier import BloomierMaplet
+from repro.maplets.chucky import ChuckyMaplet, huffman_code_lengths
+from repro.maplets.qf_maplet import QuotientFilterMaplet
+from repro.maplets.slimdb import SlimDBMaplet
+from repro.workloads.synthetic import disjoint_key_sets
+
+
+@pytest.fixture(scope="module")
+def kv_data():
+    members, negatives = disjoint_key_sets(800, 4000, seed=31)
+    values = {key: i % 97 for i, key in enumerate(members)}
+    return values, negatives
+
+
+class TestBloomier:
+    def test_members_get_their_value(self, kv_data):
+        values, _ = kv_data
+        maplet = BloomierMaplet(values, seed=1)
+        for key, value in values.items():
+            assert maplet.get(key) == [value]
+
+    def test_prs_and_nrs_are_one(self, kv_data):
+        values, negatives = kv_data
+        maplet = BloomierMaplet(values, seed=1)
+        assert all(len(maplet.get(k)) == 1 for k in values)
+        assert all(len(maplet.get(k)) == 1 for k in negatives[:500])
+
+    def test_value_update(self, kv_data):
+        values, _ = kv_data
+        maplet = BloomierMaplet(values, seed=1)
+        key = next(iter(values))
+        maplet.update(key, 12345)
+        assert maplet.get(key) == [12345]
+        # Other keys unaffected (matched cells are private).
+        others = [k for k in values if k != key][:200]
+        assert all(maplet.get(k) == [values[k]] for k in others)
+
+    def test_no_inserts(self, kv_data):
+        values, _ = kv_data
+        maplet = BloomierMaplet(values, seed=1)
+        with pytest.raises(ImmutableFilterError):
+            maplet.insert("new-key", 1)
+
+    def test_empty(self):
+        maplet = BloomierMaplet({}, seed=1)
+        assert len(maplet) == 0
+
+
+class TestQFMaplet:
+    def test_round_trip(self, kv_data):
+        values, _ = kv_data
+        maplet = QuotientFilterMaplet.for_capacity(len(values), 0.01, seed=2)
+        for key, value in values.items():
+            maplet.insert(key, value)
+        for key, value in values.items():
+            assert value in maplet.get(key)
+
+    def test_prs_close_to_one(self, kv_data):
+        values, _ = kv_data
+        maplet = QuotientFilterMaplet.for_capacity(len(values), 0.01, seed=2)
+        for key, value in values.items():
+            maplet.insert(key, value)
+        total = sum(len(maplet.get(k)) for k in values)
+        assert total / len(values) < 1.05  # PRS = 1 + ε
+
+    def test_nrs_close_to_epsilon(self, kv_data):
+        values, negatives = kv_data
+        maplet = QuotientFilterMaplet.for_capacity(len(values), 0.01, seed=2)
+        for key, value in values.items():
+            maplet.insert(key, value)
+        total = sum(len(maplet.get(k)) for k in negatives)
+        assert total / len(negatives) < 0.05  # NRS = ε
+
+    def test_multiple_values_per_key(self):
+        maplet = QuotientFilterMaplet.for_capacity(100, 0.01, seed=3)
+        maplet.insert("k", 1)
+        maplet.insert("k", 2)
+        assert sorted(maplet.get("k")) == [1, 2]
+        maplet.delete("k", 1)
+        assert maplet.get("k") == [2]
+
+    def test_delete(self):
+        maplet = QuotientFilterMaplet.for_capacity(100, 0.01, seed=3)
+        maplet.insert("k", 9)
+        maplet.delete("k", 9)
+        assert maplet.get("k") == []
+        with pytest.raises(DeletionError):
+            maplet.delete("k", 9)
+
+    def test_negative_get_empty_usually(self):
+        maplet = QuotientFilterMaplet.for_capacity(100, 0.001, seed=3)
+        maplet.insert("k", 9)
+        assert maplet.get("other") == []
+
+
+class TestSlimDB:
+    def test_exact_positive_results(self, kv_data):
+        values, _ = kv_data
+        maplet = SlimDBMaplet(fingerprint_bits=8, seed=4)  # force collisions
+        for key, value in values.items():
+            maplet.insert(key, value)
+        # PRS exactly 1 and the value is always the right one.
+        for key, value in values.items():
+            assert maplet.get(key) == [value]
+
+    def test_collisions_detected(self, kv_data):
+        values, _ = kv_data
+        maplet = SlimDBMaplet(fingerprint_bits=8, seed=4)
+        for key, value in values.items():
+            maplet.insert(key, value)
+        assert maplet.n_collisions > 0  # 800 keys into 256 fingerprints
+
+    def test_upsert(self):
+        maplet = SlimDBMaplet(seed=5)
+        maplet.insert("k", 1)
+        maplet.insert("k", 2)
+        assert maplet.get("k") == [2]
+        assert len(maplet) == 1
+
+    def test_delete_paths(self):
+        maplet = SlimDBMaplet(seed=5)
+        maplet.insert("k", 1)
+        maplet.delete("k", 1)
+        assert maplet.get("k") == []
+        with pytest.raises(DeletionError):
+            maplet.delete("k", 1)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            SlimDBMaplet(fingerprint_bits=0)
+
+
+class TestHuffman:
+    def test_lengths_of_uniform(self):
+        lengths = huffman_code_lengths({0: 1, 1: 1, 2: 1, 3: 1})
+        assert all(length == 2 for length in lengths.values())
+
+    def test_skewed_gives_short_hot_code(self):
+        lengths = huffman_code_lengths({"hot": 0.9, "warm": 0.07, "cold": 0.03})
+        assert lengths["hot"] == 1
+        assert lengths["cold"] >= 2
+
+    def test_kraft_inequality(self):
+        lengths = huffman_code_lengths({i: (i + 1) ** 2 for i in range(17)})
+        assert sum(2.0 ** -l for l in lengths.values()) <= 1.0 + 1e-9
+
+    def test_single_symbol(self):
+        assert huffman_code_lengths({"only": 5}) == {"only": 1}
+
+    def test_empty(self):
+        assert huffman_code_lengths({}) == {}
+
+
+class TestChucky:
+    def test_round_trip(self):
+        # LSM-like level skew: level i holds ~10^i keys.
+        weights = {0: 1, 1: 10, 2: 100, 3: 1000}
+        maplet = ChuckyMaplet(500, 0.01, weights, seed=6)
+        members, _ = disjoint_key_sets(400, 1, seed=7)
+        for i, key in enumerate(members):
+            maplet.insert(key, 3 if i % 10 else 1)
+        hits = sum(1 for i, k in enumerate(members) if (3 if i % 10 else 1) in maplet.get(k))
+        assert hits == len(members)
+
+    def test_mean_value_bits_below_fixed_width(self):
+        weights = {0: 1, 1: 10, 2: 100, 3: 1000}
+        maplet = ChuckyMaplet(2000, 0.01, weights, seed=6)
+        members, _ = disjoint_key_sets(1000, 1, seed=8)
+        for i, key in enumerate(members):
+            level = 3 if i % 11 else 2  # ~91% of keys in the biggest level
+            maplet.insert(key, level)
+        assert maplet.mean_value_bits < maplet.fixed_width_value_bits
+
+    def test_rejects_unknown_level(self):
+        maplet = ChuckyMaplet(10, 0.01, {0: 1}, seed=6)
+        with pytest.raises(ValueError):
+            maplet.insert("k", 7)
+
+    def test_delete_refunds_bits(self):
+        maplet = ChuckyMaplet(10, 0.01, {0: 1, 1: 3}, seed=6)
+        maplet.insert("k", 1)
+        bits = maplet.size_in_bits
+        maplet.delete("k", 1)
+        assert maplet.size_in_bits < bits

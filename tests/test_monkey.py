@@ -1,0 +1,90 @@
+"""Tests for the Monkey closed-form allocation (§3.1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import monkey_allocation, uniform_allocation
+
+
+def _memory_used(level_entries, fprs):
+    ln_c = math.log(0.6185)
+    return sum(
+        n * math.log(p) / ln_c for n, p in zip(level_entries, fprs) if p < 1.0
+    )
+
+
+def _lookup_cost(fprs):
+    return sum(fprs)
+
+
+LEVELS = [100, 1000, 10_000, 100_000]
+
+
+class TestMonkeyAllocation:
+    def test_memory_budget_respected(self):
+        budget = 8.0 * sum(LEVELS)
+        fprs = monkey_allocation(LEVELS, budget)
+        assert _memory_used(LEVELS, fprs) == pytest.approx(budget, rel=1e-6)
+
+    def test_fpr_proportional_to_level_size(self):
+        fprs = monkey_allocation(LEVELS, 10.0 * sum(LEVELS))
+        for i in range(len(LEVELS) - 1):
+            ratio = fprs[i + 1] / fprs[i]
+            assert ratio == pytest.approx(LEVELS[i + 1] / LEVELS[i], rel=1e-6)
+
+    def test_beats_uniform_at_equal_memory(self):
+        budget = 8.0 * sum(LEVELS)
+        monkey = monkey_allocation(LEVELS, budget)
+        uniform = uniform_allocation(LEVELS, budget)
+        assert _lookup_cost(monkey) < _lookup_cost(uniform)
+
+    def test_beats_random_feasible_allocations(self):
+        """No random feasible allocation should do better (optimality)."""
+        budget = 6.0 * sum(LEVELS)
+        best = _lookup_cost(monkey_allocation(LEVELS, budget))
+        rng = np.random.default_rng(0)
+        ln_c = math.log(0.6185)
+        for _ in range(200):
+            weights = rng.dirichlet(np.ones(len(LEVELS)))
+            fprs = [
+                min(1.0, math.exp(ln_c * budget * w / n))
+                for w, n in zip(weights, LEVELS)
+            ]
+            assert _lookup_cost(fprs) >= best - 1e-9
+
+    def test_water_filling_small_budget(self):
+        # A tiny budget: the big level should get no filter (p = 1) while
+        # small levels still get useful filters.
+        fprs = monkey_allocation(LEVELS, 0.5 * sum(LEVELS))
+        assert fprs[-1] == 1.0
+        assert fprs[0] < 0.1
+        # Remaining memory is still fully spent on the active levels.
+        budget_used = _memory_used(LEVELS, fprs)
+        assert budget_used == pytest.approx(0.5 * sum(LEVELS), rel=1e-6)
+
+    def test_zero_budget(self):
+        assert monkey_allocation(LEVELS, 0.0) == [1.0] * len(LEVELS)
+
+    def test_empty_and_errors(self):
+        assert monkey_allocation([], 100) == []
+        with pytest.raises(ValueError):
+            monkey_allocation([0], 100)
+        with pytest.raises(ValueError):
+            monkey_allocation([10], -1)
+
+    def test_sum_of_fprs_converges_with_depth(self):
+        """The O(ε) claim: adding deeper (smaller) levels barely moves the
+        total FPR under Monkey, while uniform grows linearly."""
+        budget_per_key = 10.0
+        monkey_totals, uniform_totals = [], []
+        for depth in (2, 4, 6):
+            levels = [10 * 10**i for i in range(depth)]
+            budget = budget_per_key * sum(levels)
+            monkey_totals.append(_lookup_cost(monkey_allocation(levels, budget)))
+            uniform_totals.append(_lookup_cost(uniform_allocation(levels, budget)))
+        assert monkey_totals[-1] < 1.5 * monkey_totals[0]
+        assert uniform_totals[-1] > 2.5 * uniform_totals[0]

@@ -1,0 +1,219 @@
+"""Cross-cutting property-based tests (hypothesis) over the whole registry.
+
+These encode the *universal* filter contracts from §1 of the paper:
+
+1. no false negatives — ever, for any insertion sequence;
+2. delete round-trip — inserting then deleting a batch leaves no trace
+   that can cause false negatives on other members;
+3. idempotent queries — querying must not mutate visible state;
+4. determinism — same seed, same inputs → same answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import FEATURE_MATRIX, make_filter
+
+def _factory_constructible(f) -> bool:
+    """Names make_filter builds directly (maplets/range filters have
+    specialised constructors and their own property tests below)."""
+    return f.inserts and not f.values and not f.ranges
+
+
+DYNAMIC_NAMES = sorted(
+    name
+    for name, f in FEATURE_MATRIX.items()
+    if _factory_constructible(f) and f.kind in ("dynamic", "semi-dynamic")
+)
+DELETING_NAMES = sorted(
+    name for name, f in FEATURE_MATRIX.items() if f.deletes and _factory_constructible(f)
+)
+STATIC_NAMES = ["xor", "xor-plus", "ribbon"]
+
+keys_strategy = st.lists(
+    st.one_of(
+        st.integers(min_value=0, max_value=2**48),
+        st.text(min_size=0, max_size=12),
+        st.binary(max_size=8),
+    ),
+    max_size=60,
+    unique=True,
+)
+
+
+@pytest.mark.parametrize("name", DYNAMIC_NAMES)
+class TestDynamicContracts:
+    @given(keys=keys_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_no_false_negatives(self, name, keys):
+        filt = make_filter(name, capacity=256, epsilon=0.05, seed=7)
+        for key in keys:
+            filt.insert(key)
+        for key in keys:
+            assert filt.may_contain(key)
+
+    @given(keys=keys_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_query_is_pure(self, name, keys):
+        filt = make_filter(name, capacity=256, epsilon=0.05, seed=7)
+        for key in keys:
+            filt.insert(key)
+        probes = list(keys) + ["ghost", 999_999_999]
+        first = [filt.may_contain(p) for p in probes]
+        second = [filt.may_contain(p) for p in probes]
+        assert first == second
+
+    @given(keys=keys_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic_given_seed(self, name, keys):
+        a = make_filter(name, capacity=256, epsilon=0.05, seed=11)
+        b = make_filter(name, capacity=256, epsilon=0.05, seed=11)
+        for key in keys:
+            a.insert(key)
+            b.insert(key)
+        probes = list(keys) + [f"probe{i}" for i in range(20)]
+        assert [a.may_contain(p) for p in probes] == [
+            b.may_contain(p) for p in probes
+        ]
+
+
+@pytest.mark.parametrize("name", DELETING_NAMES)
+class TestDeleteContracts:
+    # Distinct keys: several bucketed designs legitimately cap identical
+    # fingerprints per bucket (duplicates are exercised in the per-filter
+    # test modules for the structures that support them).
+    @given(
+        keep=st.sets(st.integers(min_value=0, max_value=10**6), max_size=25),
+        drop=st.sets(st.integers(min_value=10**7, max_value=2 * 10**7), max_size=25),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_delete_preserves_other_members(self, name, keep, drop):
+        filt = make_filter(name, capacity=256, epsilon=0.05, seed=13)
+        for key in sorted(keep) + sorted(drop):
+            filt.insert(key)
+        for key in sorted(drop):
+            filt.delete(key)
+        # Deleting `drop` must never evict any of `keep`.
+        for key in keep:
+            assert filt.may_contain(key)
+
+    @given(keys=st.sets(st.integers(min_value=0, max_value=10**6), max_size=30))
+    @settings(max_examples=10, deadline=None)
+    def test_full_drain_reaches_empty(self, name, keys):
+        filt = make_filter(name, capacity=256, epsilon=0.05, seed=13)
+        for key in sorted(keys):
+            filt.insert(key)
+        for key in sorted(keys):
+            filt.delete(key)
+        assert len(filt) == 0
+
+
+@pytest.mark.parametrize("name", STATIC_NAMES)
+class TestStaticContracts:
+    @given(keys=st.sets(st.integers(min_value=0, max_value=2**48), max_size=80))
+    @settings(max_examples=15, deadline=None)
+    def test_no_false_negatives(self, name, keys):
+        filt = make_filter(name, keys=sorted(keys), epsilon=0.05, seed=17)
+        for key in keys:
+            assert filt.may_contain(key)
+
+
+class TestRangeFilterContracts:
+    @given(
+        keys=st.sets(st.integers(min_value=0, max_value=(1 << 24) - 1), min_size=1, max_size=60),
+        probes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=(1 << 24) - 1),
+                st.integers(min_value=0, max_value=200),
+            ),
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_no_false_negative_ranges(self, keys, probes):
+        from repro.rangefilters.grafite import Grafite
+        from repro.rangefilters.snarf import SNARF
+        from repro.rangefilters.surf import SuRF
+
+        key_list = sorted(keys)
+        filters = [
+            SuRF(key_list, key_bits=24, seed=19),
+            SNARF(key_list, key_bits=24, multiplier=8, seed=19),
+            Grafite(key_list, key_bits=24, max_range=256, epsilon=0.1, seed=19),
+        ]
+        sorted_keys = key_list
+        for lo, width in probes:
+            hi = min((1 << 24) - 1, lo + min(width, 255))
+            from bisect import bisect_left
+
+            i = bisect_left(sorted_keys, lo)
+            truly = i < len(sorted_keys) and sorted_keys[i] <= hi
+            if truly:
+                for filt in filters:
+                    assert filt.may_intersect(lo, hi)
+
+
+class TestMapletContracts:
+    @given(
+        items=st.dictionaries(
+            st.integers(min_value=0, max_value=10**9),
+            st.integers(min_value=0, max_value=255),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_dynamic_maplets_return_their_value(self, items):
+        from repro.maplets.qf_maplet import QuotientFilterMaplet
+        from repro.maplets.slimdb import SlimDBMaplet
+
+        qf = QuotientFilterMaplet.for_capacity(max(1, len(items)) * 2, 0.05, seed=23)
+        slim = SlimDBMaplet(fingerprint_bits=20, seed=23)
+        for key, value in items.items():
+            qf.insert(key, value)
+            slim.insert(key, value)
+        for key, value in items.items():
+            assert value in qf.get(key)
+            assert slim.get(key) == [value]
+
+    @given(
+        items=st.dictionaries(
+            st.integers(min_value=0, max_value=10**9),
+            st.integers(min_value=0, max_value=255),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_bloomier_exact_for_members(self, items):
+        from repro.maplets.bloomier import BloomierMaplet
+
+        maplet = BloomierMaplet(items, value_bits=8, seed=29)
+        for key, value in items.items():
+            assert maplet.get(key) == [value]
+
+
+class TestCountingContracts:
+    @given(
+        multiset=st.dictionaries(
+            st.integers(min_value=0, max_value=10**6),
+            st.integers(min_value=1, max_value=40),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_counts_bounded_below_by_truth(self, multiset):
+        from repro.counting.cqf import CountingQuotientFilter
+        from repro.counting.spectral import SpectralBloomFilter
+
+        cqf = CountingQuotientFilter.for_capacity(128, 0.05, seed=31)
+        sbf = SpectralBloomFilter(128, 0.05, seed=31)
+        for key, mult in multiset.items():
+            for _ in range(mult):
+                cqf.insert(key)
+                sbf.insert(key)
+        for key, mult in multiset.items():
+            assert cqf.count(key) >= mult
+            assert sbf.count(key) >= mult

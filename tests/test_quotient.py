@@ -1,0 +1,166 @@
+"""Quotient filter tests: invariants, deletes, and a model-based fuzz.
+
+The quotient filter is the foundation for the counting, adaptive and
+expandable variants, so it gets the heaviest verification: a hypothesis
+state-machine-style test compares it against an exact multiset of
+fingerprints (the filter must behave *identically* to the multiset at the
+fingerprint level — false positives only ever come from fingerprint
+collisions, which the model shares).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DeletionError, FilterFullError
+from repro.filters.quotient import QuotientFilter
+from tests.conftest import measured_fpr
+
+
+class TestBasics:
+    def test_insert_query(self):
+        qf = QuotientFilter(8, 8, seed=1)
+        for key in ["a", "b", "c", 42, b"xyz"]:
+            qf.insert(key)
+        for key in ["a", "b", "c", 42, b"xyz"]:
+            assert qf.may_contain(key)
+        assert len(qf) == 5
+
+    def test_no_false_negatives_bulk(self, small_keys):
+        members, _ = small_keys
+        qf = QuotientFilter.for_capacity(len(members), 0.01, seed=3)
+        for key in members:
+            qf.insert(key)
+        assert all(qf.may_contain(k) for k in members)
+
+    def test_fpr_near_target(self, medium_keys):
+        members, negatives = medium_keys
+        qf = QuotientFilter.for_capacity(len(members), 2**-8, seed=5)
+        for key in members:
+            qf.insert(key)
+        fpr = measured_fpr(qf, negatives)
+        assert fpr <= 3 * 2**-8  # generous: binomial noise at 20k queries
+
+    def test_delete_removes(self):
+        qf = QuotientFilter(8, 10, seed=2)
+        qf.insert("x")
+        assert qf.may_contain("x")
+        qf.delete("x")
+        assert not qf.may_contain("x")
+        assert len(qf) == 0
+
+    def test_delete_unknown_raises(self):
+        qf = QuotientFilter(8, 10, seed=2)
+        qf.insert("x")
+        with pytest.raises(DeletionError):
+            qf.delete("never-inserted")
+
+    def test_duplicate_inserts_need_matching_deletes(self):
+        qf = QuotientFilter(8, 10, seed=2)
+        qf.insert("dup")
+        qf.insert("dup")
+        qf.delete("dup")
+        assert qf.may_contain("dup")
+        qf.delete("dup")
+        assert not qf.may_contain("dup")
+
+    def test_full_raises(self):
+        qf = QuotientFilter(4, 8, seed=2)  # 16 slots, capacity 14
+        for i in range(qf.capacity):
+            qf.insert(i)
+        with pytest.raises(FilterFullError):
+            qf.insert("one-too-many")
+
+    def test_size_formula(self):
+        qf = QuotientFilter(10, 7)
+        assert qf.size_in_bits == 1024 * (7 + 3)
+
+    def test_for_capacity_sizing(self):
+        qf = QuotientFilter.for_capacity(1000, 0.01)
+        assert qf.capacity >= 1000
+        assert qf.remainder_bits == 7
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            QuotientFilter(0, 8)
+        with pytest.raises(ValueError):
+            QuotientFilter(8, 0)
+        with pytest.raises(ValueError):
+            QuotientFilter.for_capacity(0, 0.01)
+        with pytest.raises(ValueError):
+            QuotientFilter.for_capacity(10, 1.5)
+
+
+class TestStructure:
+    def test_iter_fingerprints_matches_inserts(self):
+        qf = QuotientFilter(6, 6, seed=9)
+        keys = list(range(40))
+        expected = sorted(qf._fingerprint(k) for k in keys)
+        for key in keys:
+            qf.insert(key)
+        assert sorted(qf.iter_fingerprints()) == expected
+
+    def test_wraparound_stretch(self):
+        # Force fingerprints whose quotients sit at the top of the table so
+        # runs wrap past slot 2^q - 1.
+        qf = QuotientFilter(4, 4, seed=0)
+        top = qf.n_slots - 1
+        fps = [(top << 4) | r for r in range(5)]  # five remainders, quotient 15
+        for fp in fps:
+            qf._insert_fingerprint(fp)
+        for fp in fps:
+            assert qf._contains_fingerprint(fp)
+        assert not qf._contains_fingerprint((top << 4) | 9)
+        # Delete across the wrap, too.
+        for fp in fps:
+            qf._delete_fingerprint(fp)
+        assert len(qf) == 0
+
+    def test_probe_length_positive(self):
+        qf = QuotientFilter(6, 6, seed=1)
+        for i in range(30):
+            qf.insert(i)
+        assert qf.probe_length(0) >= 1
+
+
+@st.composite
+def _fingerprints(draw, q_bits=5, r_bits=4):
+    quotient = draw(st.integers(min_value=0, max_value=(1 << q_bits) - 1))
+    remainder = draw(st.integers(min_value=0, max_value=(1 << r_bits) - 1))
+    return (quotient << r_bits) | remainder
+
+
+class TestModelBased:
+    """Drive the filter and an exact multiset with the same fingerprint ops."""
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["insert", "delete", "query"]), _fingerprints()),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_exact_multiset(self, ops):
+        qf = QuotientFilter(5, 4, seed=0)  # 32 slots
+        model: dict[int, int] = {}
+        for op, fp in ops:
+            if op == "insert":
+                if len(qf) >= qf.capacity:
+                    continue
+                qf._insert_fingerprint(fp)
+                model[fp] = model.get(fp, 0) + 1
+            elif op == "delete":
+                if model.get(fp, 0) > 0:
+                    qf._delete_fingerprint(fp)
+                    model[fp] -= 1
+                    if model[fp] == 0:
+                        del model[fp]
+            else:
+                assert qf._contains_fingerprint(fp) == (fp in model)
+        # Final full sweep: the filter must be fingerprint-exact.
+        for fp in range(1 << 9):
+            assert qf._contains_fingerprint(fp) == (fp in model)
+        expected = sorted(f for f, c in model.items() for _ in range(c))
+        assert sorted(qf.iter_fingerprints()) == expected

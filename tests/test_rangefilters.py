@@ -1,0 +1,247 @@
+"""Tests for the range filters (§2.5)."""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+import pytest
+
+from repro.rangefilters.arf import AdaptiveRangeFilter
+from repro.rangefilters.grafite import Grafite
+from repro.rangefilters.prefix_bloom import PrefixBloomFilter
+from repro.rangefilters.proteus import Proteus
+from repro.rangefilters.rosetta import Rosetta
+from repro.rangefilters.snarf import SNARF
+from repro.rangefilters.surf import SuRF
+from repro.workloads.synthetic import (
+    correlated_range_queries,
+    random_key_set,
+    random_range_queries,
+)
+
+KEY_BITS = 32
+UNIVERSE = 1 << KEY_BITS
+
+
+@pytest.fixture(scope="module")
+def range_keys():
+    return random_key_set(2000, seed=41, universe=UNIVERSE)
+
+
+def truly_intersects(sorted_keys, lo, hi):
+    i = bisect_left(sorted_keys, lo)
+    return i < len(sorted_keys) and sorted_keys[i] <= hi
+
+
+def make_filters(keys):
+    return {
+        "surf": SuRF(keys, key_bits=KEY_BITS, real_suffix_bits=4, seed=1),
+        "rosetta": Rosetta(
+            keys, key_bits=KEY_BITS, bits_per_key=20, n_levels=12, seed=1
+        ),
+        "prefix-bloom": PrefixBloomFilter(
+            keys, key_bits=KEY_BITS, prefix_bits=KEY_BITS - 10, seed=1
+        ),
+        "proteus": Proteus(keys, key_bits=KEY_BITS, bits_per_key=20, seed=1),
+        "snarf": SNARF(keys, key_bits=KEY_BITS, multiplier=16, seed=1),
+        "grafite": Grafite(
+            keys, key_bits=KEY_BITS, max_range=1 << 12, epsilon=0.02, seed=1
+        ),
+    }
+
+
+class TestNoFalseNegatives:
+    """The one inviolable contract: a range containing a key must hit."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["surf", "rosetta", "prefix-bloom", "proteus", "snarf", "grafite"],
+    )
+    def test_ranges_containing_keys_hit(self, range_keys, name):
+        filt = make_filters(range_keys)[name]
+        for key in range_keys[::20]:
+            lo = max(0, key - 100)
+            hi = min(UNIVERSE - 1, key + 100)
+            if hi - lo + 1 > (1 << 12):  # grafite's max_range bound
+                continue
+            assert filt.may_intersect(lo, hi), f"{name} missed a real key"
+
+    @pytest.mark.parametrize(
+        "name",
+        ["surf", "rosetta", "prefix-bloom", "proteus", "snarf", "grafite"],
+    )
+    def test_point_queries_on_members_hit(self, range_keys, name):
+        filt = make_filters(range_keys)[name]
+        assert all(filt.may_intersect(k, k) for k in range_keys[::10])
+
+
+class TestFiltering:
+    def test_all_filters_reject_most_empty_ranges(self, range_keys):
+        queries = random_range_queries(400, 256, seed=5, universe=UNIVERSE)
+        empty = [
+            (lo, hi) for lo, hi in queries if not truly_intersects(range_keys, lo, hi)
+        ]
+        assert len(empty) > 100
+        for name, filt in make_filters(range_keys).items():
+            fps = sum(1 for lo, hi in empty if filt.may_intersect(lo, hi))
+            assert fps / len(empty) < 0.5, f"{name} provides no filtering"
+
+    def test_rejects_inverted_range(self, range_keys):
+        for name, filt in make_filters(range_keys).items():
+            with pytest.raises(ValueError):
+                filt.may_intersect(10, 5)
+
+
+class TestSuRFSpecifics:
+    def test_correlated_queries_destroy_surf(self, range_keys):
+        """§2.5: queries just above existing keys defeat the trie intervals."""
+        surf = SuRF(range_keys, key_bits=KEY_BITS, real_suffix_bits=0, seed=2)
+        queries = correlated_range_queries(range_keys, 300, 4, gap=1, seed=3)
+        empty = [q for q in queries if not truly_intersects(range_keys, *q)]
+        fps = sum(1 for lo, hi in empty if surf.may_intersect(lo, hi))
+        assert fps / max(1, len(empty)) > 0.5  # near-total FPR
+
+    def test_real_suffix_bits_reduce_fpr(self, range_keys):
+        base = SuRF(range_keys, key_bits=KEY_BITS, real_suffix_bits=0, seed=2)
+        real8 = SuRF(range_keys, key_bits=KEY_BITS, real_suffix_bits=8, seed=2)
+        queries = correlated_range_queries(range_keys, 300, 4, gap=3, seed=4)
+        empty = [q for q in queries if not truly_intersects(range_keys, *q)]
+        fp_base = sum(1 for lo, hi in empty if base.may_intersect(lo, hi))
+        fp_real = sum(1 for lo, hi in empty if real8.may_intersect(lo, hi))
+        assert fp_real <= fp_base
+
+    def test_hash_suffix_helps_points_only(self, range_keys):
+        surf = SuRF(range_keys, key_bits=KEY_BITS, hash_suffix_bits=8, seed=2)
+        negatives = [k + 1 for k in range_keys if k + 1 not in set(range_keys)]
+        fps = sum(1 for k in negatives[:500] if surf.may_contain(k))
+        assert fps / 500 < 0.2
+
+    def test_adversarial_keys_blow_up_space(self):
+        # Pairs of keys sharing long unique prefixes force deep trie paths.
+        benign = random_key_set(500, seed=6, universe=UNIVERSE)
+        adversarial = []
+        for key in benign[:250]:
+            adversarial.extend([key, key ^ 1])  # differ only in the last bit
+        s_benign = SuRF(benign, key_bits=KEY_BITS, seed=7)
+        s_adv = SuRF(adversarial, key_bits=KEY_BITS, seed=7)
+        assert s_adv.bits_per_key > 1.5 * s_benign.bits_per_key
+
+    def test_duplicates_and_empty(self):
+        assert not SuRF([], key_bits=KEY_BITS).may_intersect(0, UNIVERSE - 1)
+        surf = SuRF([5, 5, 5], key_bits=KEY_BITS)
+        assert len(surf) == 1
+
+
+class TestRosettaSpecifics:
+    def test_fpr_grows_with_range_length(self, range_keys):
+        rosetta = Rosetta(
+            range_keys, key_bits=KEY_BITS, bits_per_key=20, n_levels=10, seed=8
+        )
+        fprs = []
+        for length in (1, 64, 4096):
+            queries = random_range_queries(200, length, seed=9, universe=UNIVERSE)
+            empty = [q for q in queries if not truly_intersects(range_keys, *q)]
+            fps = sum(1 for lo, hi in empty if rosetta.may_intersect(lo, hi))
+            fprs.append(fps / max(1, len(empty)))
+        assert fprs[0] <= fprs[-1]
+
+    def test_long_ranges_get_no_filtering(self, range_keys):
+        rosetta = Rosetta(
+            range_keys, key_bits=KEY_BITS, bits_per_key=20, n_levels=6, seed=8
+        )
+        # Ranges far beyond 2^(levels-1) decompose into unfiltered blocks.
+        assert rosetta.max_filtered_range() == 32
+
+    def test_probe_counting(self, range_keys):
+        rosetta = Rosetta(
+            range_keys, key_bits=KEY_BITS, bits_per_key=20, n_levels=10, seed=8
+        )
+        rosetta.may_intersect(0, 1 << 14)
+        long_probes = rosetta.last_query_probes
+        rosetta.may_intersect(5, 5)
+        assert rosetta.last_query_probes < long_probes
+
+    def test_robust_against_correlated_point_queries(self, range_keys):
+        rosetta = Rosetta(
+            range_keys, key_bits=KEY_BITS, bits_per_key=20, n_levels=10, seed=8
+        )
+        key_set = set(range_keys)
+        negatives = [k + 1 for k in range_keys if k + 1 not in key_set][:400]
+        fps = sum(1 for k in negatives if rosetta.may_contain(k))
+        assert fps / len(negatives) < 0.1
+
+
+class TestGrafiteSpecifics:
+    def test_robust_under_correlation(self, range_keys):
+        grafite = Grafite(
+            range_keys, key_bits=KEY_BITS, max_range=1 << 12, epsilon=0.02, seed=10
+        )
+        queries = correlated_range_queries(range_keys, 400, 8, gap=2, seed=11)
+        empty = [q for q in queries if not truly_intersects(range_keys, *q)]
+        fps = sum(1 for lo, hi in empty if grafite.may_intersect(lo, hi))
+        assert fps / max(1, len(empty)) < 0.15
+
+    def test_range_longer_than_l_rejected(self, range_keys):
+        grafite = Grafite(range_keys, key_bits=KEY_BITS, max_range=16, seed=10)
+        with pytest.raises(ValueError):
+            grafite.may_intersect(0, 100)
+
+    def test_space_near_lower_bound(self, range_keys):
+        grafite = Grafite(
+            range_keys, key_bits=KEY_BITS, max_range=1 << 12, epsilon=0.02, seed=10
+        )
+        assert grafite.bits_per_key <= 1.4 * grafite.theoretical_bits_per_key()
+
+
+class TestARFSpecifics:
+    def test_starts_with_no_filtering(self, range_keys):
+        arf = AdaptiveRangeFilter(range_keys, key_bits=KEY_BITS)
+        assert arf.may_intersect(0, 10)  # untrained: everything "occupied"
+
+    def test_training_fixes_repeated_queries(self, range_keys):
+        arf = AdaptiveRangeFilter(range_keys, key_bits=KEY_BITS, max_nodes=1 << 14)
+        queries = random_range_queries(100, 64, seed=12, universe=UNIVERSE)
+        empty = [q for q in queries if not truly_intersects(range_keys, *q)]
+        arf.train(empty)
+        fps = sum(1 for lo, hi in empty if arf.may_intersect(lo, hi))
+        assert fps / max(1, len(empty)) < 0.1  # trained regions now answer no
+
+    def test_never_false_negative_after_training(self, range_keys):
+        arf = AdaptiveRangeFilter(range_keys, key_bits=KEY_BITS)
+        queries = random_range_queries(50, 64, seed=13, universe=UNIVERSE)
+        arf.train([q for q in queries if not truly_intersects(range_keys, *q)])
+        for key in range_keys[::40]:
+            assert arf.may_intersect(key, key)
+
+    def test_budget_respected(self, range_keys):
+        arf = AdaptiveRangeFilter(range_keys, key_bits=KEY_BITS, max_nodes=64)
+        queries = random_range_queries(200, 64, seed=14, universe=UNIVERSE)
+        arf.train([q for q in queries if not truly_intersects(range_keys, *q)])
+        assert arf.n_nodes <= 66
+
+    def test_escalate_rejects_nonempty(self, range_keys):
+        arf = AdaptiveRangeFilter(range_keys, key_bits=KEY_BITS)
+        key = range_keys[0]
+        with pytest.raises(ValueError):
+            arf.escalate(key, key)
+
+
+class TestProteusSpecifics:
+    def test_sample_driven_tuning_runs(self, range_keys):
+        sample = random_range_queries(50, 128, seed=15, universe=UNIVERSE)
+        proteus = Proteus(
+            range_keys,
+            key_bits=KEY_BITS,
+            bits_per_key=18,
+            sample_queries=sample,
+            seed=16,
+        )
+        assert 1 <= proteus.l1 < proteus.l2 <= KEY_BITS
+
+    def test_explicit_l1_l2(self, range_keys):
+        proteus = Proteus(range_keys, key_bits=KEY_BITS, l1=12, l2=24, seed=16)
+        assert proteus.l1 == 12 and proteus.l2 == 24
+
+    def test_bad_l1_l2_rejected(self, range_keys):
+        with pytest.raises(ValueError):
+            Proteus(range_keys, key_bits=KEY_BITS, l1=24, l2=12)

@@ -1,0 +1,80 @@
+"""Round-trip tests for filter serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.serialize import dumps, loads
+from repro.filters.bloom import BloomFilter
+from repro.filters.cuckoo import CuckooFilter
+from repro.filters.quotient import QuotientFilter
+from repro.filters.ribbon import RibbonFilter
+from repro.filters.xor import XorFilter
+
+
+def _assert_equivalent(original, restored, members, probes):
+    assert len(restored) == len(original)
+    assert restored.size_in_bits == original.size_in_bits
+    for key in members:
+        assert restored.may_contain(key)
+    for key in probes:
+        assert restored.may_contain(key) == original.may_contain(key)
+
+
+class TestRoundTrips:
+    def test_bloom(self, small_keys):
+        members, negatives = small_keys
+        bloom = BloomFilter(len(members), 0.01, seed=41)
+        for key in members:
+            bloom.insert(key)
+        restored = loads(dumps(bloom))
+        _assert_equivalent(bloom, restored, members, negatives[:500])
+
+    def test_quotient(self, small_keys):
+        members, negatives = small_keys
+        qf = QuotientFilter.for_capacity(len(members), 0.01, seed=42)
+        for key in members:
+            qf.insert(key)
+        restored = loads(dumps(qf))
+        _assert_equivalent(qf, restored, members, negatives[:500])
+        # The restored filter remains fully functional (delete works).
+        restored.delete(members[0])
+        assert not restored.may_contain(members[0])
+
+    def test_cuckoo(self, small_keys):
+        members, negatives = small_keys
+        cf = CuckooFilter.for_capacity(len(members), 0.01, seed=43)
+        for key in members:
+            cf.insert(key)
+        restored = loads(dumps(cf))
+        _assert_equivalent(cf, restored, members, negatives[:500])
+        restored.insert("new-key-after-load")
+        assert restored.may_contain("new-key-after-load")
+
+    def test_xor(self, small_keys):
+        members, negatives = small_keys
+        xf = XorFilter(members, 10, seed=44)
+        restored = loads(dumps(xf))
+        _assert_equivalent(xf, restored, members, negatives[:500])
+
+    def test_ribbon(self, small_keys):
+        members, negatives = small_keys
+        rf = RibbonFilter(members, 10, seed=45)
+        restored = loads(dumps(rf))
+        _assert_equivalent(rf, restored, members, negatives[:500])
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="blob"):
+            loads(b"NOPE" + b"\x00" * 32)
+
+    def test_unsupported_type(self):
+        from repro.counting.spectral import SpectralBloomFilter
+
+        with pytest.raises(TypeError):
+            dumps(SpectralBloomFilter(10, 0.01))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            loads(b"BBF1" + bytes([99]) + b"\x00" * 32)

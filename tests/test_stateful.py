@@ -1,0 +1,148 @@
+"""Hypothesis rule-based state machines: long random operation sequences
+checked against exact reference models.
+
+These complement the per-module tests: a state machine explores orderings
+(insert/delete/query/flush interleavings) that hand-written tests miss.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.apps.lsm import LSMConfig, LSMTree
+from repro.filters.cuckoo import CuckooFilter
+from repro.filters.quotient import QuotientFilter
+
+KEYS = st.integers(min_value=0, max_value=400)
+
+
+class QuotientFilterMachine(RuleBasedStateMachine):
+    """QF vs an exact fingerprint multiset (same collision behaviour)."""
+
+    def __init__(self):
+        super().__init__()
+        self.qf = QuotientFilter(6, 5, seed=3)
+        self.model: dict[int, int] = {}  # fingerprint -> multiplicity
+
+    def _fp(self, key: int) -> int:
+        return self.qf._fingerprint(key)
+
+    @rule(key=KEYS)
+    def insert(self, key):
+        if len(self.qf) >= self.qf.capacity:
+            return
+        self.qf.insert(key)
+        fp = self._fp(key)
+        self.model[fp] = self.model.get(fp, 0) + 1
+
+    @rule(key=KEYS)
+    def delete_if_present(self, key):
+        fp = self._fp(key)
+        if self.model.get(fp, 0) > 0:
+            self.qf.delete(key)
+            self.model[fp] -= 1
+            if self.model[fp] == 0:
+                del self.model[fp]
+
+    @rule(key=KEYS)
+    def query_matches_model(self, key):
+        assert self.qf.may_contain(key) == (self._fp(key) in self.model)
+
+    @invariant()
+    def count_matches(self):
+        assert len(self.qf) == sum(self.model.values())
+
+    @invariant()
+    def stored_fingerprints_match(self):
+        stored = sorted(self.qf.iter_fingerprints())
+        expected = sorted(f for f, c in self.model.items() for _ in range(c))
+        assert stored == expected
+
+
+class CuckooFilterMachine(RuleBasedStateMachine):
+    """Cuckoo filter vs a key multiset: membership is never lost."""
+
+    def __init__(self):
+        super().__init__()
+        self.cf = CuckooFilter(64, 14, seed=5)
+        self.members: dict[int, int] = {}
+
+    @rule(key=KEYS)
+    def insert(self, key):
+        if len(self.cf) >= int(self.cf.n_slots * 0.9):
+            return
+        self.cf.insert(key)
+        self.members[key] = self.members.get(key, 0) + 1
+
+    @rule(key=KEYS)
+    def delete_if_present(self, key):
+        if self.members.get(key, 0) > 0:
+            self.cf.delete(key)
+            self.members[key] -= 1
+            if self.members[key] == 0:
+                del self.members[key]
+
+    @invariant()
+    def no_false_negatives(self):
+        for key in self.members:
+            assert self.cf.may_contain(key)
+
+    @invariant()
+    def count_matches(self):
+        assert len(self.cf) == sum(self.members.values())
+
+
+class LSMMachine(RuleBasedStateMachine):
+    """LSM-tree vs a plain dict, across puts/deletes/flushes/range scans."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = LSMTree(
+            LSMConfig(compaction="tiering", memtable_entries=8, size_ratio=3)
+        )
+        self.model: dict[int, int] = {}
+
+    @rule(key=KEYS, value=st.integers(min_value=0, max_value=1000))
+    def put(self, key, value):
+        self.tree.put(key, value)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        self.tree.delete(key)
+        self.model.pop(key, None)
+
+    @rule()
+    def flush(self):
+        self.tree.flush()
+
+    @rule(key=KEYS)
+    def get_matches_model(self, key):
+        assert self.tree.get(key, default=None) == self.model.get(key)
+
+    @rule(lo=KEYS, width=st.integers(min_value=0, max_value=50))
+    def range_matches_model(self, lo, width):
+        hi = lo + width
+        expected = {k: v for k, v in self.model.items() if lo <= k <= hi}
+        assert self.tree.range_query(lo, hi) == dict(sorted(expected.items()))
+
+
+TestQuotientFilterMachine = QuotientFilterMachine.TestCase
+TestQuotientFilterMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+TestCuckooFilterMachine = CuckooFilterMachine.TestCase
+TestCuckooFilterMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+TestLSMMachine = LSMMachine.TestCase
+TestLSMMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

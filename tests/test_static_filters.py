@@ -1,0 +1,140 @@
+"""Tests for the static filters: XOR, XOR+, ribbon, and the prefix filter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ImmutableFilterError
+from repro.filters.prefix import PrefixFilter
+from repro.filters.ribbon import RibbonFilter
+from repro.filters.xor import XorFilter, XorPlusFilter
+from tests.conftest import measured_fpr
+
+
+class TestXorFilter:
+    def test_no_false_negatives(self, medium_keys):
+        members, _ = medium_keys
+        xf = XorFilter(members, 8, seed=1)
+        assert all(xf.may_contain(k) for k in members)
+
+    def test_fpr_near_two_to_minus_f(self, medium_keys):
+        members, negatives = medium_keys
+        xf = XorFilter(members, 8, seed=1)
+        assert measured_fpr(xf, negatives) <= 3 * 2**-8
+
+    def test_space_factor(self, medium_keys):
+        members, _ = medium_keys
+        xf = XorFilter(members, 8, seed=1)
+        assert 1.15 * 8 <= xf.bits_per_key <= 1.35 * 8
+
+    def test_immutable(self):
+        xf = XorFilter([1, 2, 3], 8)
+        with pytest.raises(ImmutableFilterError):
+            xf.insert(4)
+
+    def test_build_classmethod(self):
+        xf = XorFilter.build([1, 2, 3], 2**-8)
+        assert xf.fingerprint_bits == 8
+        assert all(xf.may_contain(k) for k in (1, 2, 3))
+
+    def test_empty_and_tiny_sets(self):
+        assert not XorFilter([], 8).may_contain(1)
+        xf = XorFilter([42], 8)
+        assert xf.may_contain(42)
+
+    def test_string_keys(self):
+        xf = XorFilter(["alpha", "beta"], 12)
+        assert xf.may_contain("alpha") and xf.may_contain("beta")
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            XorFilter([1], 0)
+
+
+class TestXorPlusFilter:
+    def test_no_false_negatives(self, medium_keys):
+        members, _ = medium_keys
+        xf = XorPlusFilter(members, 8, seed=1)
+        assert all(xf.may_contain(k) for k in members)
+
+    def test_fpr(self, medium_keys):
+        members, negatives = medium_keys
+        xf = XorPlusFilter(members, 8, seed=1)
+        assert measured_fpr(xf, negatives) <= 3 * 2**-8
+
+    def test_smaller_than_plain_xor(self, medium_keys):
+        members, _ = medium_keys
+        plain = XorFilter(members, 8, seed=1)
+        plus = XorPlusFilter(members, 8, seed=1)
+        assert plus.size_in_bits < plain.size_in_bits
+
+    def test_agrees_with_uncompressed_inner(self, small_keys):
+        members, negatives = small_keys
+        plus = XorPlusFilter(members, 8, seed=2)
+        for key in list(members) + list(negatives[:500]):
+            assert plus.may_contain(key) == plus._inner.may_contain(key)
+
+    def test_immutable(self):
+        xf = XorPlusFilter([1, 2], 8)
+        with pytest.raises(ImmutableFilterError):
+            xf.insert(3)
+
+
+class TestRibbonFilter:
+    def test_no_false_negatives(self, medium_keys):
+        members, _ = medium_keys
+        rf = RibbonFilter(members, 8, seed=1)
+        assert all(rf.may_contain(k) for k in members)
+
+    def test_fpr(self, medium_keys):
+        members, negatives = medium_keys
+        rf = RibbonFilter(members, 8, seed=1)
+        assert measured_fpr(rf, negatives) <= 3 * 2**-8
+
+    def test_space_close_to_optimal(self, medium_keys):
+        # The ribbon's selling point: ~1.05·f bits/key, under XOR's 1.23·f.
+        members, _ = medium_keys
+        rf = RibbonFilter(members, 8, seed=1)
+        assert rf.bits_per_key <= 1.12 * 8
+
+    def test_immutable(self):
+        rf = RibbonFilter([1], 8)
+        with pytest.raises(ImmutableFilterError):
+            rf.insert(2)
+
+    def test_duplicate_keys_tolerated(self):
+        rf = RibbonFilter([7, 7, 8], 8)
+        assert rf.may_contain(7) and rf.may_contain(8)
+
+    def test_build_classmethod(self):
+        rf = RibbonFilter.build(["a", "b"], 0.01)
+        assert rf.may_contain("a")
+
+
+class TestPrefixFilter:
+    def test_no_false_negatives(self, medium_keys):
+        members, _ = medium_keys
+        pf = PrefixFilter(len(members), 0.01, seed=1)
+        for key in members:
+            pf.insert(key)
+        assert all(pf.may_contain(k) for k in members)
+
+    def test_fpr(self, medium_keys):
+        members, negatives = medium_keys
+        pf = PrefixFilter(len(members), 0.01, seed=1)
+        for key in members:
+            pf.insert(key)
+        assert measured_fpr(pf, negatives) <= 0.03
+
+    def test_spare_takes_small_fraction(self, medium_keys):
+        members, _ = medium_keys
+        pf = PrefixFilter(len(members), 0.01, seed=1)
+        for key in members:
+            pf.insert(key)
+        assert pf.spare_fraction < 0.2
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            PrefixFilter(0, 0.01)
+        with pytest.raises(ValueError):
+            PrefixFilter(10, 2.0)

@@ -1,0 +1,162 @@
+"""Tests for rank/select, Elias–Fano, and varint codes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.bitvector import BitVector
+from repro.common.eliasfano import EliasFano, elias_fano_bits
+from repro.common.rankselect import RankSelect
+from repro.common.varint import (
+    cqf_counter_bits,
+    decode_gamma,
+    elias_delta_bits,
+    elias_gamma_bits,
+    encode_gamma,
+    unary_bits,
+)
+
+
+def _brute_rank(indexes: set[int], i: int) -> int:
+    return sum(1 for j in indexes if j < i)
+
+
+class TestRankSelect:
+    @given(st.sets(st.integers(min_value=0, max_value=299), max_size=80))
+    @settings(max_examples=50)
+    def test_rank_select_match_model(self, indexes):
+        bv = BitVector(300)
+        for i in indexes:
+            bv.set(i)
+        rs = RankSelect(bv)
+        assert rs.total == len(indexes)
+        for i in range(0, 301, 7):
+            assert rs.rank(i) == _brute_rank(indexes, i)
+        ordered = sorted(indexes)
+        for k, pos in enumerate(ordered):
+            assert rs.select(k) == pos
+
+    def test_empty(self):
+        rs = RankSelect(BitVector(64))
+        assert rs.total == 0
+        assert rs.rank(64) == 0
+        with pytest.raises(IndexError):
+            rs.select(0)
+
+    def test_rank_bounds(self):
+        rs = RankSelect(BitVector(10))
+        with pytest.raises(IndexError):
+            rs.rank(11)
+
+    def test_select_rank_inverse(self):
+        bv = BitVector(500)
+        idx = list(range(0, 500, 13))
+        for i in idx:
+            bv.set(i)
+        rs = RankSelect(bv)
+        for k in range(len(idx)):
+            assert rs.rank(rs.select(k)) == k
+
+
+class TestEliasFano:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10**6), min_size=0, max_size=200)
+    )
+    @settings(max_examples=50)
+    def test_round_trip(self, values):
+        values.sort()
+        ef = EliasFano(values)
+        assert len(ef) == len(values)
+        assert ef.to_list() == values
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            EliasFano([3, 1])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EliasFano([-1, 2])
+
+    def test_rejects_small_universe(self):
+        with pytest.raises(ValueError):
+            EliasFano([5], universe=5)
+
+    def test_next_geq(self):
+        ef = EliasFano([2, 5, 5, 9, 100])
+        assert ef.next_geq(0) == 2
+        assert ef.next_geq(2) == 2
+        assert ef.next_geq(3) == 5
+        assert ef.next_geq(10) == 100
+        assert ef.next_geq(101) is None
+
+    def test_contains_in_range(self):
+        ef = EliasFano([10, 20, 30])
+        assert ef.contains_in_range(15, 25)
+        assert not ef.contains_in_range(21, 29)
+        assert ef.contains_in_range(30, 99)
+        with pytest.raises(ValueError):
+            ef.contains_in_range(5, 4)
+
+    def test_contains(self):
+        ef = EliasFano([1, 7])
+        assert 7 in ef and 1 in ef and 5 not in ef
+
+    def test_duplicates_supported(self):
+        ef = EliasFano([4, 4, 4])
+        assert ef.to_list() == [4, 4, 4]
+
+    def test_space_near_theory(self):
+        rng = np.random.default_rng(0)
+        values = np.sort(rng.integers(0, 1 << 30, size=2000))
+        ef = EliasFano([int(v) for v in values], universe=1 << 30)
+        # 2 + log2(u/n) ≈ 21.3 bits per element; allow slack for rounding.
+        assert ef.size_in_bits / 2000 < 24
+        assert ef.size_in_bits <= 1.3 * elias_fano_bits(2000, 1 << 30)
+
+    def test_empty(self):
+        ef = EliasFano([])
+        assert len(ef) == 0
+        assert ef.next_geq(0) is None
+
+
+class TestVarint:
+    def test_unary(self):
+        assert unary_bits(0) == 1
+        assert unary_bits(5) == 6
+        with pytest.raises(ValueError):
+            unary_bits(-1)
+
+    def test_gamma_bits(self):
+        assert elias_gamma_bits(1) == 1
+        assert elias_gamma_bits(2) == 3
+        assert elias_gamma_bits(15) == 7
+        with pytest.raises(ValueError):
+            elias_gamma_bits(0)
+
+    def test_delta_bits_smaller_for_large_values(self):
+        assert elias_delta_bits(10**6) < elias_gamma_bits(10**6)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_gamma_round_trip(self, value):
+        bits = encode_gamma(value)
+        assert len(bits) == elias_gamma_bits(value)
+        decoded, rest = decode_gamma(bits + "101")
+        assert decoded == value
+        assert rest == "101"
+
+    def test_gamma_decode_truncated(self):
+        with pytest.raises(ValueError):
+            decode_gamma("0001")
+
+    def test_cqf_counter_bits(self):
+        # One occurrence: just the remainder slot.
+        assert cqf_counter_bits(1, 8) == 8
+        # Two occurrences: remainder + one counter slot.
+        assert cqf_counter_bits(2, 8) == 16
+        # Counter grows logarithmically, not linearly.
+        assert cqf_counter_bits(1 << 20, 8) <= 8 * (1 + 3)
+        with pytest.raises(ValueError):
+            cqf_counter_bits(0, 8)

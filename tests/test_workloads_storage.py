@@ -1,0 +1,137 @@
+"""Tests for the workload generators and the simulated block device."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.storage import BlockDevice, IOStats
+from repro.workloads.synthetic import (
+    adversarial_repeat_queries,
+    correlated_range_queries,
+    disjoint_key_sets,
+    random_key_set,
+    random_range_queries,
+    zipf_multiset,
+    zipf_queries,
+)
+from repro.workloads.urls import split_malicious, url_query_stream, url_universe
+
+
+class TestBlockDevice:
+    def test_write_read_counts(self):
+        dev = BlockDevice()
+        dev.write("a", b"payload", size=100)
+        assert dev.read("a") == b"payload"
+        assert dev.stats.writes == 1
+        assert dev.stats.reads == 1
+        assert dev.stats.bytes_written == 100
+        assert dev.stats.bytes_read == 100
+
+    def test_missing_block_raises(self):
+        with pytest.raises(KeyError):
+            BlockDevice().read("nothing")
+
+    def test_exists_free_of_charge(self):
+        dev = BlockDevice()
+        dev.write("a", 1)
+        before = dev.stats.reads
+        assert dev.exists("a") and not dev.exists("b")
+        assert dev.stats.reads == before
+
+    def test_delete_and_used_bytes(self):
+        dev = BlockDevice()
+        dev.write("a", None, size=10)
+        dev.write("b", None, size=20)
+        assert dev.used_bytes == 30
+        dev.delete("a")
+        assert dev.used_bytes == 20 and len(dev) == 1
+
+    def test_stats_snapshot_subtraction(self):
+        dev = BlockDevice()
+        dev.write("a", None, size=4)
+        before = dev.stats.snapshot()
+        dev.write("b", None, size=4)
+        delta = dev.stats - before
+        assert delta.writes == 1
+
+    def test_stats_reset(self):
+        stats = IOStats(reads=3)
+        stats.reset()
+        assert stats.reads == 0
+
+
+class TestSyntheticWorkloads:
+    def test_random_key_set_distinct_sorted(self):
+        keys = random_key_set(500, seed=1)
+        assert len(set(keys)) == 500
+        assert keys == sorted(keys)
+
+    def test_deterministic(self):
+        assert random_key_set(100, seed=5) == random_key_set(100, seed=5)
+
+    def test_disjoint_sets(self):
+        members, negatives = disjoint_key_sets(200, 300, seed=2)
+        assert not set(members) & set(negatives)
+        assert len(members) == 200 and len(negatives) == 300
+
+    def test_zipf_skew_concentrates(self):
+        population = list(range(1000))
+        flat = zipf_queries(population, 5000, skew=0.0, seed=3)
+        skewed = zipf_queries(population, 5000, skew=1.5, seed=3)
+        from collections import Counter
+
+        top_flat = Counter(flat).most_common(1)[0][1]
+        top_skewed = Counter(skewed).most_common(1)[0][1]
+        assert top_skewed > 3 * top_flat
+
+    def test_zipf_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            zipf_queries([], 10, 1.0)
+
+    def test_zipf_multiset_totals(self):
+        counts = zipf_multiset(100, 1000, skew=1.0, seed=4)
+        assert sum(counts.values()) == 1000
+        assert len(counts) <= 100
+
+    def test_adversarial_repeats_discovered_fps(self):
+        fps = {7, 13}
+        queries = adversarial_repeat_queries(
+            list(range(50)), lambda k: k in fps, 300, seed=5
+        )
+        from collections import Counter
+
+        counts = Counter(queries)
+        assert counts[7] + counts[13] > 100  # replayed heavily
+
+    def test_range_queries_within_universe(self):
+        for lo, hi in random_range_queries(100, 64, seed=6, universe=1 << 20):
+            assert 0 <= lo <= hi < 1 << 20
+            assert hi - lo == 63
+
+    def test_correlated_queries_near_keys(self):
+        keys = random_key_set(100, seed=7)
+        queries = correlated_range_queries(keys, 50, 8, gap=1, seed=8)
+        key_set = set(keys)
+        assert all(lo - 1 in key_set for lo, _ in queries)
+
+
+class TestUrlWorkloads:
+    def test_universe_distinct(self):
+        urls = url_universe(300, seed=9)
+        assert len(set(urls)) == 300
+        assert all(u.startswith("https://") for u in urls)
+
+    def test_split_partition(self):
+        urls = url_universe(200, seed=10)
+        malicious, benign = split_malicious(urls, 0.25, seed=11)
+        assert len(malicious) == 50
+        assert not set(malicious) & set(benign)
+
+    def test_stream_labels_truthful(self):
+        urls = url_universe(200, seed=12)
+        malicious, benign = split_malicious(urls, 0.25, seed=13)
+        mset = set(malicious)
+        stream = url_query_stream(benign, malicious, 1000, seed=14)
+        assert all((url in mset) == flag for url, flag in stream)
+        assert any(flag for _, flag in stream)

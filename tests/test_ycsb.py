@@ -1,0 +1,63 @@
+"""Tests for the YCSB-style workload driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.lsm import LSMConfig, LSMTree
+from repro.workloads.ycsb import WORKLOADS, run_workload
+
+
+@pytest.fixture()
+def loaded_tree():
+    tree = LSMTree(LSMConfig(compaction="tiering", memtable_entries=32))
+    rng = np.random.default_rng(1)
+    keys = sorted(int(k) for k in rng.choice(1 << 20, 500, replace=False))
+    for key in keys:
+        tree.put(key, key)
+    return tree, keys
+
+
+class TestYcsbDriver:
+    def test_mixes_sum_to_one(self):
+        for name, spec in WORKLOADS.items():
+            assert sum(spec.values()) == pytest.approx(1.0), name
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_runs_all_mixes(self, loaded_tree, workload):
+        tree, keys = loaded_tree
+        result = run_workload(tree, workload, 300, key_space=keys, seed=2)
+        assert sum(result.ops.values()) == 300
+
+    def test_read_only_mix_has_no_misses(self, loaded_tree):
+        tree, keys = loaded_tree
+        result = run_workload(tree, "C", 400, key_space=keys, seed=3)
+        assert result.ops == {"read": 400}
+        assert result.read_misses == 0  # all reads target preloaded keys
+
+    def test_op_ratio_approximates_spec(self, loaded_tree):
+        tree, keys = loaded_tree
+        result = run_workload(tree, "B", 2000, key_space=keys, seed=4)
+        read_fraction = result.ops["read"] / 2000
+        assert 0.9 < read_fraction < 0.99
+
+    def test_insert_mix_grows_store(self, loaded_tree):
+        tree, keys = loaded_tree
+        before = tree.stats.bytes_ingested
+        run_workload(tree, "E", 300, key_space=keys, seed=5)
+        assert tree.stats.bytes_ingested > before
+
+    def test_unknown_workload(self, loaded_tree):
+        tree, keys = loaded_tree
+        with pytest.raises(ValueError, match="unknown workload"):
+            run_workload(tree, "Z", 10, key_space=keys)
+
+    def test_deterministic(self, loaded_tree):
+        tree, keys = loaded_tree
+        r1 = run_workload(tree, "A", 200, key_space=keys, seed=6)
+        tree2 = LSMTree(LSMConfig(compaction="tiering", memtable_entries=32))
+        for key in keys:
+            tree2.put(key, key)
+        r2 = run_workload(tree2, "A", 200, key_space=keys, seed=6)
+        assert r1.ops == r2.ops
