@@ -1,0 +1,123 @@
+"""R1 — recovery under corruption (robustness stack, docs/robustness.md).
+
+Claims checked:
+  * recovery's extra rebuild I/O is proportional to the size of the runs
+    whose filter blobs were corrupted — intact runs cost nothing extra;
+  * a degraded run (filter unrecoverable, ``rebuild_filters_on_recovery``
+    off) costs exactly one extra device read per lookup probe, which is
+    precisely the read the filter existed to skip.
+
+Series: recovery I/O vs corrupted-run entries (rebuild mode); reads per
+negative lookup vs number of degraded runs (degrade mode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.lsm import LSMConfig, LSMTree
+from repro.common.faults import FaultyBlockDevice
+
+from _util import print_table
+
+N_ENTRIES = 4000
+N_QUERIES = 2000
+
+
+def _build(rebuild: bool = True) -> LSMTree:
+    config = LSMConfig(
+        compaction="tiering",
+        memtable_entries=32,
+        size_ratio=4,
+        rebuild_filters_on_recovery=rebuild,
+    )
+    tree = LSMTree(config, device=FaultyBlockDevice())
+    rng = np.random.default_rng(91)
+    for key in rng.choice(1 << 30, size=N_ENTRIES, replace=False):
+        tree.put(int(key), 0)
+    tree.flush()
+    return tree
+
+
+def _filter_runs(tree: LSMTree):
+    """Live runs with a filter blob on the device, largest first."""
+    runs = [
+        run
+        for level in tree._levels
+        for run in level
+        if tree.device.exists(("filter", run.run_id))
+    ]
+    return sorted(runs, key=len, reverse=True)
+
+
+def test_r1_rebuild_io_tracks_corrupted_run_size(benchmark):
+    rows = []
+    baseline_written = None
+    for n_ruined in (0, 1, 2, 4, 8):
+        tree = _build()
+        victims = _filter_runs(tree)[:n_ruined]
+        for run in victims:
+            tree.device.ruin(("filter", run.run_id))
+        recovered = LSMTree.recover(tree.device, tree.config)
+        report = recovered.recovery_report
+        assert report.filters_rebuilt == len(victims)
+        corrupted_entries = sum(len(run) for run in victims)
+        if baseline_written is None:
+            baseline_written = report.io.bytes_written
+        extra = report.io.bytes_written - baseline_written
+        rows.append(
+            [
+                len(victims),
+                corrupted_entries,
+                report.io.reads,
+                extra,
+                round(extra / corrupted_entries, 3) if corrupted_entries else "-",
+            ]
+        )
+    print_table(
+        f"R1a: filter-rebuild I/O vs corruption ({N_ENTRIES} entries)",
+        ["ruined blobs", "corrupted entries", "recovery reads",
+         "extra bytes written", "extra bytes / corrupted entry"],
+        rows,
+        note="extra write I/O to re-persist rebuilt filters scales with the "
+        "corrupted runs' sizes; intact runs add nothing",
+    )
+    benchmark(lambda: LSMTree.recover(_build().device))
+
+
+def test_r1_degraded_lookup_cost():
+    rows = []
+    base_reads_per_q = None
+    for n_degraded in (0, 1, 2, 4):
+        tree = _build(rebuild=False)
+        victims = _filter_runs(tree)[:n_degraded]
+        for run in victims:
+            tree.device.ruin(("filter", run.run_id))
+        recovered = LSMTree.recover(tree.device, tree.config)
+        report = recovered.recovery_report
+        assert report.filters_degraded == len(victims)
+        before = recovered.device.stats.snapshot()
+        queries = np.random.default_rng(92).integers(1 << 40, 1 << 41, size=N_QUERIES)
+        for q in queries:
+            recovered.get(int(q))  # guaranteed negative
+        reads_per_q = (recovered.device.stats - before).reads / N_QUERIES
+        if base_reads_per_q is None:
+            base_reads_per_q = reads_per_q
+        extra_per_q = reads_per_q - base_reads_per_q
+        assert recovered.stats.degraded_lookups == len(victims) * N_QUERIES
+        rows.append(
+            [
+                len(victims),
+                round(reads_per_q, 4),
+                round(extra_per_q, 4),
+                recovered.stats.degraded_lookups // N_QUERIES,
+            ]
+        )
+    print_table(
+        f"R1b: degraded-run lookup cost ({N_QUERIES} negative lookups)",
+        ["degraded runs", "device reads / lookup", "extra reads / lookup",
+         "degraded probes / lookup"],
+        rows,
+        note="each degraded run costs exactly one extra device read per "
+        "lookup — the read its filter existed to skip",
+    )

@@ -19,6 +19,7 @@ False
 
 from repro.core import (
     FEATURE_MATRIX,
+    ChecksumError,
     AdaptiveFilter,
     CountingFilter,
     DynamicFilter,
@@ -37,6 +38,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveFilter",
+    "ChecksumError",
     "CountingFilter",
     "DynamicFilter",
     "ExpandableFilter",

@@ -18,14 +18,36 @@ Reproduced design space:
 * **Maplet mode**: replace per-run filters with a single maplet mapping
   each key to its run (SlimDB / Chucky / SplinterDB, §3.1): a lookup
   probes only the runs the maplet names.
+
+Durability model (docs/robustness.md):
+
+Every persistent artifact is a checksummed blob on the device — run data
+and write-ahead-log records are CRC32-framed pickles, filter blobs are
+``BBF2`` frames (:mod:`repro.core.serialize`), and the manifest is a
+CRC32-framed JSON document double-buffered across two slots with a
+read-back verify, so a torn or lost manifest write can never orphan the
+tree.  ``put`` is acknowledged only after its WAL record is on the
+device; :meth:`LSMTree.recover` reopens a (possibly faulty) device by
+loading the newest valid manifest (falling back to a device scan),
+replaying the WAL, and loading every run's filter blob — rebuilding any
+filter whose blob fails its checksum from the run's keys, or degrading
+that run to "always probe" when rebuilding is disabled.  :meth:`scrub`
+walks all blobs, reports corruption, and optionally repairs it — the
+``bup bloom --check/--regenerate`` workflow as a method.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+import pickle
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.common.storage import BlockDevice
+from repro.common.faults import RetryPolicy, TransientIOError
+from repro.common.storage import BlockDevice, IOStats
+from repro.core.errors import ChecksumError
+from repro.core.serialize import dumps as filter_dumps
+from repro.core.serialize import frame, loads as filter_loads, unframe, verify as filter_verify
 from repro.filters.bloom import BloomFilter
 from repro.maplets.qf_maplet import QuotientFilterMaplet
 
@@ -38,8 +60,16 @@ class _Tombstone:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "<tombstone>"
 
+    def __reduce__(self):
+        # Pickle to the module singleton so identity survives WAL replay.
+        return (_restore_tombstone, ())
+
 
 TOMBSTONE = _Tombstone()
+
+
+def _restore_tombstone() -> "_Tombstone":
+    return TOMBSTONE
 
 
 @dataclass
@@ -57,6 +87,10 @@ class LSMConfig:
     use_maplet: bool = False
     maplet_capacity: int = 1 << 16
     seed: int = 0
+    # Durability knobs (docs/robustness.md).
+    wal_enabled: bool = True
+    retry_attempts: int = 4
+    rebuild_filters_on_recovery: bool = True
 
     def __post_init__(self):
         if self.size_ratio < 2:
@@ -65,14 +99,32 @@ class LSMConfig:
             raise ValueError(f"unknown compaction policy {self.compaction!r}")
         if self.filter_policy not in ("none", "uniform", "monkey"):
             raise ValueError(f"unknown filter policy {self.filter_policy!r}")
+        if self.retry_attempts < 1:
+            raise ValueError("retry_attempts must be at least 1")
+
+    _PERSISTED = (
+        "size_ratio", "memtable_entries", "compaction", "filter_policy",
+        "largest_level_epsilon", "use_maplet", "maplet_capacity", "seed",
+        "wal_enabled", "retry_attempts", "rebuild_filters_on_recovery",
+    )
+
+    def to_manifest(self) -> dict:
+        """The JSON-serializable subset (factories cannot be persisted)."""
+        return {name: getattr(self, name) for name in self._PERSISTED}
+
+    @classmethod
+    def from_manifest(cls, raw: dict) -> "LSMConfig":
+        return cls(**{k: v for k, v in raw.items() if k in cls._PERSISTED})
 
 
 class _Run:
     """One immutable sorted run on the device."""
 
-    __slots__ = ("run_id", "level", "keys", "values", "filter", "range_filter", "seq")
+    __slots__ = ("run_id", "level", "keys", "values", "filter", "range_filter",
+                 "seq", "degraded")
 
-    def __init__(self, run_id, level, keys, values, filt, range_filter, seq):
+    def __init__(self, run_id, level, keys, values, filt, range_filter, seq,
+                 degraded=False):
         self.run_id = run_id
         self.level = level
         self.keys = keys  # sorted list[int]
@@ -80,6 +132,7 @@ class _Run:
         self.filter = filt
         self.range_filter = range_filter
         self.seq = seq  # recency: larger = newer data
+        self.degraded = degraded  # filter unrecoverable: always probe
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -103,6 +156,8 @@ class LSMStats:
     wasted_range_ios: int = 0
     bytes_ingested: int = 0
     compactions: int = 0
+    degraded_lookups: int = 0  # probes of runs whose filter was lost
+    integrity_faults: int = 0  # lost/torn blocks detected by the engine
 
     @property
     def ios_per_lookup(self) -> float:
@@ -113,17 +168,47 @@ class LSMStats:
         return self.wasted_lookup_ios / self.lookups if self.lookups else 0.0
 
 
-class LSMTree:
-    """Filtered LSM-tree over a simulated block device."""
+@dataclass
+class RecoveryReport:
+    """What :meth:`LSMTree.recover` found and did."""
 
-    def __init__(self, config: LSMConfig | None = None):
+    runs_recovered: int = 0
+    runs_lost: int = 0
+    filters_loaded: int = 0
+    filters_rebuilt: int = 0
+    filters_degraded: int = 0
+    wal_replayed: int = 0
+    wal_lost: int = 0
+    manifest_fallback: bool = False
+    io: IOStats = field(default_factory=IOStats)
+
+
+@dataclass
+class ScrubReport:
+    """What :meth:`LSMTree.scrub` checked, found, and repaired."""
+
+    blocks_checked: int = 0
+    corrupt: list = field(default_factory=list)
+    repaired: list = field(default_factory=list)
+    unreadable: list = field(default_factory=list)
+
+
+class LSMTree:
+    """Filtered LSM-tree over a simulated (possibly faulty) block device."""
+
+    def __init__(self, config: LSMConfig | None = None, device: Any = None):
         self.config = config or LSMConfig()
-        self.device = BlockDevice()
+        self.device = device if device is not None else BlockDevice()
         self.stats = LSMStats()
+        self.retry = RetryPolicy(max_attempts=self.config.retry_attempts)
         self._memtable: dict[int, Any] = {}
         self._levels: list[list[_Run]] = []
         self._next_run_id = 0
         self._next_seq = 0
+        self._next_wal_seq = 0
+        self._wal_pending: list[int] = []
+        self._manifest_epoch = 0
+        self._pending_retire: list[Any] = []
         self._maplet: QuotientFilterMaplet | None = None
         if self.config.use_maplet:
             self._maplet = QuotientFilterMaplet.for_capacity(
@@ -132,10 +217,30 @@ class LSMTree:
             )
         self._global_range_filter: Any = None
         self._global_dirty = True
+        self.recovery_report: RecoveryReport | None = None
+
+    # -- device helpers ---------------------------------------------------------
+
+    def _read_block(self, address):
+        """Device read with bounded retry on transient faults."""
+        return self.retry.call(self.device.read, address)
+
+    def _safe_delete(self, address) -> None:
+        """Strict delete: a missing block means a lost write or double-free
+        happened earlier — count it instead of masking it."""
+        try:
+            self.device.delete(address, missing_ok=False)
+        except KeyError:
+            self.stats.integrity_faults += 1
 
     # -- write path ------------------------------------------------------------
 
     def put(self, key: int, value: Any) -> None:
+        if self.config.wal_enabled:
+            body = frame(pickle.dumps((key, value)))
+            self.device.write(("wal", self._next_wal_seq), body, size=_ENTRY_BYTES)
+            self._wal_pending.append(self._next_wal_seq)
+            self._next_wal_seq += 1
         self._memtable[key] = value
         self.stats.bytes_ingested += _ENTRY_BYTES
         if len(self._memtable) >= self.config.memtable_entries:
@@ -153,6 +258,7 @@ class LSMTree:
         self._memtable = {}
         self._emit_run(0, keys, values)
         self._maybe_compact()
+        self._checkpoint()
 
     def _emit_run(self, level: int, keys: list[int], values: list[Any]) -> _Run:
         run = _Run(
@@ -169,7 +275,11 @@ class LSMTree:
         while len(self._levels) <= level:
             self._levels.append([])
         self._levels[level].append(run)
-        self.device.write(("run", run.run_id), None, size=len(keys) * _ENTRY_BYTES)
+        data = frame(pickle.dumps((run.level, run.seq, run.keys, run.values)))
+        self.device.write(("run", run.run_id), data, size=len(keys) * _ENTRY_BYTES)
+        if run.filter is not None:
+            blob = filter_dumps(run.filter)
+            self.device.write(("filter", run.run_id), blob, size=len(blob))
         if self._maplet is not None:
             for key in keys:
                 self._maplet.insert(key, run.run_id)
@@ -177,11 +287,66 @@ class LSMTree:
         return run
 
     def _retire_run(self, run: _Run) -> None:
-        self.device.delete(("run", run.run_id))
+        # Deletion is deferred to the next manifest checkpoint so that a
+        # crash between compaction and checkpoint cannot orphan the tree:
+        # the old manifest still describes blocks that still exist.
+        self._pending_retire.append(("run", run.run_id))
+        if self.device.exists(("filter", run.run_id)):
+            self._pending_retire.append(("filter", run.run_id))
         if self._maplet is not None:
             for key in run.keys:
                 self._maplet.delete(key, run.run_id)
         self._global_dirty = True
+
+    # -- manifest / checkpoint ---------------------------------------------------
+
+    def _manifest_payload(self) -> bytes:
+        manifest = {
+            "epoch": self._manifest_epoch + 1,
+            "next_run_id": self._next_run_id,
+            "next_seq": self._next_seq,
+            "wal_floor": self._next_wal_seq,
+            "config": self.config.to_manifest(),
+            "runs": [
+                [run.run_id, run.level, run.seq, len(run.keys), run.filter is not None]
+                for level in self._levels
+                for run in level
+            ],
+        }
+        return frame(json.dumps(manifest, sort_keys=True).encode())
+
+    def _checkpoint(self) -> None:
+        """Durably record the run set, then free superseded blocks.
+
+        The manifest is double-buffered across two slots (alternating by
+        epoch) and read back after writing: a lost, torn, or bit-flipped
+        manifest write is detected and retried, and the previous slot
+        stays valid throughout.
+        """
+        body = self._manifest_payload()
+        slot = (self._manifest_epoch + 1) % 2
+        address = ("manifest", slot)
+        for _ in range(self.retry.max_attempts):
+            self.device.write(address, body, size=len(body))
+            try:
+                written = self._read_block(address)
+            except (TransientIOError, KeyError):
+                written = None
+            if written == body:
+                break
+            self.stats.integrity_faults += 1
+        self._manifest_epoch += 1
+        for addr in self._pending_retire:
+            self._safe_delete(addr)
+        self._pending_retire = []
+        for seq in self._wal_pending:
+            self._safe_delete(("wal", seq))
+        self._wal_pending = []
+
+    def checkpoint(self) -> None:
+        """Public alias: persist the manifest without flushing the memtable
+        (the memtable is already covered by the WAL)."""
+        self._checkpoint()
 
     # -- filters -----------------------------------------------------------------
 
@@ -280,7 +445,7 @@ class LSMTree:
         return runs
 
     def _read_run(self, run: _Run, key: int):
-        self.device.read(("run", run.run_id))
+        self._read_block(("run", run.run_id))
         return run.get(key)
 
     def get(self, key: int, default: Any = None) -> Any:
@@ -308,7 +473,11 @@ class LSMTree:
             return default
 
         for run in self._runs_newest_first():
-            if run.filter is not None and not run.filter.may_contain(key):
+            if run.degraded:
+                # Lost filter: this run must always be probed — exactly one
+                # extra device read per probe (EXPERIMENTS.md R1).
+                self.stats.degraded_lookups += 1
+            elif run.filter is not None and not run.filter.may_contain(key):
                 continue
             self.stats.lookup_ios += 1
             found, value = self._read_run(run, key)
@@ -352,7 +521,7 @@ class LSMTree:
             ):
                 continue
             self.stats.range_ios += 1
-            self.device.read(("run", run.run_id))
+            self._read_block(("run", run.run_id))
             from bisect import bisect_left, bisect_right
 
             i, j = bisect_left(run.keys, lo), bisect_right(run.keys, hi)
@@ -365,6 +534,247 @@ class LSMTree:
         return {
             k: v for k, (_, v) in sorted(out.items()) if v is not TOMBSTONE
         }
+
+    # -- recovery ---------------------------------------------------------------------
+
+    @classmethod
+    def recover(cls, device: Any, config: LSMConfig | None = None) -> "LSMTree":
+        """Reopen an :class:`LSMTree` from a (possibly faulty) device.
+
+        Loads the newest valid manifest (falling back to scanning the
+        device when both slots are corrupt or missing), reloads every run,
+        loads or rebuilds its filter blob, and replays the write-ahead
+        log into the memtable.  The outcome is summarized on the returned
+        tree's ``recovery_report``.
+        """
+        report = RecoveryReport()
+        before = device.stats.snapshot()
+        manifest = cls._load_manifest(device, report)
+        if config is None:
+            raw = (manifest or {}).get("config")
+            config = LSMConfig.from_manifest(raw) if raw else LSMConfig()
+        tree = cls(config, device=device)
+        tree.recovery_report = report
+        if manifest is not None:
+            tree._manifest_epoch = manifest["epoch"]
+            tree._next_run_id = manifest["next_run_id"]
+            tree._next_seq = manifest["next_seq"]
+            run_specs = [
+                (run_id, level, seq, bool(has_filter))
+                for run_id, level, seq, _n_keys, has_filter in manifest["runs"]
+            ]
+            wal_floor = manifest["wal_floor"]
+        else:
+            report.manifest_fallback = True
+            run_specs, wal_floor = tree._scan_run_specs(), 0
+        tree._load_runs(run_specs, report)
+        tree._replay_wal(wal_floor, report)
+        report.io = device.stats - before
+        return tree
+
+    @staticmethod
+    def _load_manifest(device, report: RecoveryReport) -> dict | None:
+        """Best valid manifest across both slots (highest epoch wins)."""
+        retry = RetryPolicy(max_attempts=4)
+        best = None
+        for slot in (0, 1):
+            address = ("manifest", slot)
+            if not device.exists(address):
+                continue
+            try:
+                raw = retry.call(device.read, address)
+                manifest = json.loads(unframe(raw).decode())
+            except (TransientIOError, ChecksumError, ValueError, KeyError):
+                continue
+            if best is None or manifest["epoch"] > best["epoch"]:
+                best = manifest
+        return best
+
+    def _scan_run_specs(self) -> list:
+        """Manifest lost: enumerate run blocks straight off the device."""
+        specs = []
+        for address in self.device.addresses():
+            if isinstance(address, tuple) and address and address[0] == "run":
+                has_filter = self.device.exists(("filter", address[1]))
+                specs.append((address[1], None, None, has_filter))
+        return specs
+
+    def _load_runs(self, run_specs, report: RecoveryReport) -> None:
+        loaded: list[_Run] = []
+        for run_id, level, seq, has_filter in run_specs:
+            try:
+                data = unframe(self._read_block(("run", run_id)))
+                stored_level, stored_seq, keys, values = pickle.loads(data)
+            except (TransientIOError, KeyError, ChecksumError, pickle.PickleError):
+                report.runs_lost += 1
+                self.stats.integrity_faults += 1
+                continue
+            level = stored_level if level is None else level
+            seq = stored_seq if seq is None else seq
+            run = _Run(run_id, level, list(keys), list(values), None,
+                       self._build_range_filter(list(keys)), seq)
+            loaded.append((run, has_filter))
+            report.runs_recovered += 1
+        for run, _ in loaded:
+            while len(self._levels) <= run.level:
+                self._levels.append([])
+            self._levels[run.level].append(run)
+            self._next_run_id = max(self._next_run_id, run.run_id + 1)
+            self._next_seq = max(self._next_seq, run.seq + 1)
+        for level in self._levels:
+            level.sort(key=lambda r: r.seq)
+        # Filters second, once the level structure exists (Monkey's ε
+        # depends on tree depth).
+        for run, _has_filter in loaded:
+            self._restore_filter(run, report)
+            if self._maplet is not None:
+                for key in run.keys:
+                    self._maplet.insert(key, run.run_id)
+        self._global_dirty = True
+
+    def _restore_filter(self, run: _Run, report: RecoveryReport) -> None:
+        if self.config.filter_policy == "none" or not run.keys:
+            return
+        address = ("filter", run.run_id)
+        blob = None
+        if self.device.exists(address):
+            try:
+                blob = self._read_block(address)
+            except TransientIOError:
+                blob = None
+        if blob is not None:
+            try:
+                run.filter = filter_loads(blob)
+                report.filters_loaded += 1
+                return
+            except ValueError:  # ChecksumError included: corrupt blob
+                self.stats.integrity_faults += 1
+        if self.config.rebuild_filters_on_recovery:
+            run.filter = self._build_filter(run.level, run.keys)
+            fresh = filter_dumps(run.filter)
+            self.device.write(address, fresh, size=len(fresh))
+            report.filters_rebuilt += 1
+        else:
+            run.degraded = True
+            report.filters_degraded += 1
+
+    def _replay_wal(self, wal_floor: int, report: RecoveryReport) -> None:
+        records = sorted(
+            address[1]
+            for address in self.device.addresses()
+            if isinstance(address, tuple) and address and address[0] == "wal"
+            and address[1] >= wal_floor
+        )
+        for seq in records:
+            try:
+                body = unframe(self._read_block(("wal", seq)))
+                key, value = pickle.loads(body)
+            except (TransientIOError, KeyError, ChecksumError, pickle.PickleError):
+                report.wal_lost += 1
+                self.stats.integrity_faults += 1
+                continue
+            self._memtable[key] = value
+            report.wal_replayed += 1
+            self._wal_pending.append(seq)
+            self._next_wal_seq = max(self._next_wal_seq, seq + 1)
+
+    # -- scrubbing ---------------------------------------------------------------------
+
+    def scrub(self, repair: bool = True) -> ScrubReport:
+        """Walk every persistent blob, verify its checksum, and (optionally)
+        repair what fails — the ``bup bloom --check`` / ``--regenerate``
+        workflow.  Run data and filters are repaired from the in-memory
+        image; the manifest is repaired by re-checkpointing."""
+        report = ScrubReport()
+        for run in self._runs_newest_first():
+            self._scrub_block(
+                report, ("run", run.run_id),
+                check=lambda raw: pickle.loads(unframe(raw)) is not None,
+                repair_fn=(
+                    (lambda run=run: self.device.write(
+                        ("run", run.run_id),
+                        frame(pickle.dumps((run.level, run.seq, run.keys, run.values))),
+                        size=len(run.keys) * _ENTRY_BYTES,
+                    )) if repair else None
+                ),
+            )
+            if run.filter is not None or self.device.exists(("filter", run.run_id)):
+                self._scrub_block(
+                    report, ("filter", run.run_id),
+                    check=filter_verify,
+                    repair_fn=(
+                        (lambda run=run: self._repair_filter(run)) if repair else None
+                    ),
+                )
+        for slot in (0, 1):
+            address = ("manifest", slot)
+            if self.device.exists(address):
+                self._scrub_block(
+                    report, address,
+                    check=lambda raw: unframe(raw) is not None,
+                    repair_fn=(self._checkpoint if repair else None),
+                )
+        wal_corrupt = False
+        for seq in list(self._wal_pending):
+            n_corrupt = len(report.corrupt) + len(report.unreadable)
+            self._scrub_block(
+                report, ("wal", seq),
+                check=lambda raw: pickle.loads(unframe(raw)) is not None,
+                repair_fn=None,  # individual records are repaired as a tail
+            )
+            wal_corrupt |= len(report.corrupt) + len(report.unreadable) > n_corrupt
+        if wal_corrupt and repair:
+            self._rewrite_wal_tail()
+            report.repaired.append(("wal", "*"))
+        return report
+
+    def _scrub_block(self, report: ScrubReport, address, check, repair_fn) -> None:
+        report.blocks_checked += 1
+        try:
+            raw = self._read_block(address)
+        except TransientIOError:
+            report.unreadable.append(address)
+            return
+        except KeyError:
+            report.corrupt.append(address)
+            self.stats.integrity_faults += 1
+            if repair_fn is not None:
+                repair_fn()
+                report.repaired.append(address)
+            return
+        try:
+            ok = bool(check(raw))
+        except (ChecksumError, ValueError, pickle.PickleError):
+            ok = False
+        if ok:
+            return
+        report.corrupt.append(address)
+        self.stats.integrity_faults += 1
+        if repair_fn is not None:
+            repair_fn()
+            report.repaired.append(address)
+
+    def _repair_filter(self, run: _Run) -> None:
+        if run.filter is None:
+            run.filter = self._build_filter(run.level, run.keys)
+        if run.filter is None:
+            return
+        run.degraded = False
+        blob = filter_dumps(run.filter)
+        self.device.write(("filter", run.run_id), blob, size=len(blob))
+
+    def _rewrite_wal_tail(self) -> None:
+        # A corrupt WAL record's original content is unknowable, but the
+        # memtable still holds every acknowledged (key, value): repair
+        # replaces the whole un-checkpointed tail with a fresh image of it.
+        for seq in self._wal_pending:
+            self._safe_delete(("wal", seq))
+        self._wal_pending = []
+        for key, value in self._memtable.items():
+            body = frame(pickle.dumps((key, value)))
+            self.device.write(("wal", self._next_wal_seq), body, size=_ENTRY_BYTES)
+            self._wal_pending.append(self._next_wal_seq)
+            self._next_wal_seq += 1
 
     # -- accounting ----------------------------------------------------------------------
 

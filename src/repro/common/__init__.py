@@ -8,6 +8,14 @@ reproduce.
 
 from repro.common.bitvector import BitVector, PackedArray
 from repro.common.eliasfano import EliasFano
+from repro.common.faults import (
+    FaultInjector,
+    FaultStats,
+    FaultyBlockDevice,
+    RetryPolicy,
+    RetryStats,
+    TransientIOError,
+)
 from repro.common.hashing import (
     fingerprint,
     hash_to_range,
@@ -27,9 +35,15 @@ __all__ = [
     "BitVector",
     "BlockDevice",
     "EliasFano",
+    "FaultInjector",
+    "FaultStats",
+    "FaultyBlockDevice",
     "IOStats",
     "PackedArray",
     "RankSelect",
+    "RetryPolicy",
+    "RetryStats",
+    "TransientIOError",
     "elias_delta_bits",
     "elias_gamma_bits",
     "fingerprint",

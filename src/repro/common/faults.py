@@ -1,0 +1,260 @@
+"""Deterministic fault injection for the simulated storage stack.
+
+Filters guard *persistent* data (§3.1), and persistent data fails in
+characteristic ways: bits flip at rest, writes tear or get lost in a
+crash, reads fail transiently.  bup ships ``bup bloom --ruin`` purely so
+its corruption-recovery path can be exercised; this module is the same
+idea as a library, so every layer above the device (codec framing,
+LSM recovery, scrubbing) can be driven through seeded fault schedules.
+
+* :class:`FaultInjector` — a seeded policy object deciding, per device
+  operation, whether to inject a fault.  Probabilities are configurable
+  per *address class* (the first element of a tuple address, e.g.
+  ``"filter"`` for ``("filter", 7)``), so a test can corrupt filter blobs
+  while leaving the write-ahead log alone.
+* :class:`FaultyBlockDevice` — wraps a :class:`BlockDevice` and applies
+  the injector's decisions: bit-flip corruption and torn (truncated)
+  writes on ``bytes`` payloads, lost writes, and transient read errors
+  (:class:`TransientIOError`).  It remembers which live addresses it has
+  corrupted, giving tests ground truth to check a scrubber against.
+* :class:`RetryPolicy` — bounded retries with deterministic exponential
+  backoff *accounting* (simulated seconds; nothing sleeps), so callers
+  can express "retry transient faults N times, then degrade".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.storage import BlockDevice, IOStats, _default_size
+
+
+class TransientIOError(OSError):
+    """A read that failed now but may succeed if retried."""
+
+
+# -- fault policy -----------------------------------------------------------------
+
+def address_class(address: Any) -> Any:
+    """The address-class key used to look up per-class fault rates."""
+    if isinstance(address, tuple) and address:
+        return address[0]
+    return address
+
+
+@dataclass
+class FaultStats:
+    """Counts of faults actually injected."""
+
+    bit_flips: int = 0
+    torn_writes: int = 0
+    lost_writes: int = 0
+    transient_reads: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.bit_flips + self.torn_writes + self.lost_writes + self.transient_reads
+
+
+class FaultInjector:
+    """Seeded, deterministic fault schedule.
+
+    Each probability may be a single float (applies to every address) or a
+    dict mapping address classes to floats, with ``"*"`` as the default
+    for unlisted classes.  The same seed over the same operation sequence
+    injects the same faults — chaos tests are reproducible.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        bit_flip: float | dict = 0.0,
+        torn_write: float | dict = 0.0,
+        lost_write: float | dict = 0.0,
+        transient_read: float | dict = 0.0,
+    ):
+        self.seed = seed
+        self.bit_flip = bit_flip
+        self.torn_write = torn_write
+        self.lost_write = lost_write
+        self.transient_read = transient_read
+        self.stats = FaultStats()
+        self._rng = random.Random(seed)
+
+    def _rate(self, spec: float | dict, address: Any) -> float:
+        if isinstance(spec, dict):
+            return spec.get(address_class(address), spec.get("*", 0.0))
+        return spec
+
+    def draw_write(self, address: Any) -> str | None:
+        """Fault decision for one write: ``"flip" | "torn" | "lost" | None``."""
+        roll = self._rng.random()
+        threshold = 0.0
+        for name, spec in (
+            ("flip", self.bit_flip),
+            ("torn", self.torn_write),
+            ("lost", self.lost_write),
+        ):
+            threshold += self._rate(spec, address)
+            if roll < threshold:
+                return name
+        return None
+
+    def draw_read(self, address: Any) -> bool:
+        """Whether this read fails transiently."""
+        return self._rng.random() < self._rate(self.transient_read, address)
+
+    def flip_payload(self, payload: bytes) -> bytes:
+        """Flip one uniformly random bit of *payload*."""
+        bit = self._rng.randrange(len(payload) * 8)
+        corrupted = bytearray(payload)
+        corrupted[bit // 8] ^= 1 << (bit % 8)
+        return bytes(corrupted)
+
+    def tear_payload(self, payload: bytes) -> bytes:
+        """Keep only a random proper prefix of *payload* (a torn write)."""
+        cut = self._rng.randrange(len(payload))
+        return payload[:cut]
+
+
+# -- faulty device ----------------------------------------------------------------
+
+class FaultyBlockDevice:
+    """A :class:`BlockDevice` wrapper that injects the injector's faults.
+
+    Bit flips and torn writes only apply to ``bytes`` payloads (they model
+    media corruption of raw blobs); structured payloads can still suffer
+    lost writes and transient reads.  I/O is charged for lost writes too —
+    the device acknowledged the request; the data just never landed.
+    """
+
+    def __init__(self, device: BlockDevice | None = None, injector: FaultInjector | None = None):
+        self.inner = device if device is not None else BlockDevice()
+        self.injector = injector if injector is not None else FaultInjector()
+        self.fault_log: list[tuple[str, Any]] = []
+        self._corrupt: set[Any] = set()
+
+    @property
+    def stats(self) -> IOStats:
+        return self.inner.stats
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        return self.injector.stats
+
+    def corrupted_addresses(self) -> frozenset:
+        """Live addresses whose stored payload the device has corrupted —
+        ground truth for checking a scrubber's findings."""
+        return frozenset(self._corrupt)
+
+    def write(self, address: Any, payload: Any, size: int | None = None) -> None:
+        if size is None:
+            size = _default_size(payload)
+        action = self.injector.draw_write(address)
+        is_blob = isinstance(payload, (bytes, bytearray)) and len(payload) > 0
+        if action == "lost":
+            self.injector.stats.lost_writes += 1
+            self.fault_log.append(("lost", address))
+            # Charge the I/O without storing: the old block (if any) survives.
+            self.inner.stats.writes += 1
+            self.inner.stats.bytes_written += size
+            return
+        if action == "flip" and is_blob:
+            payload = self.injector.flip_payload(bytes(payload))
+            self.injector.stats.bit_flips += 1
+            self.fault_log.append(("flip", address))
+            self.inner.write(address, payload, size=size)
+            self._corrupt.add(address)
+            return
+        if action == "torn" and is_blob:
+            payload = self.injector.tear_payload(bytes(payload))
+            self.injector.stats.torn_writes += 1
+            self.fault_log.append(("torn", address))
+            self.inner.write(address, payload, size=size)
+            self._corrupt.add(address)
+            return
+        self.inner.write(address, payload, size=size)
+        self._corrupt.discard(address)
+
+    def read(self, address: Any) -> Any:
+        if self.injector.draw_read(address):
+            self.injector.stats.transient_reads += 1
+            self.fault_log.append(("transient", address))
+            raise TransientIOError(f"transient read failure at address {address!r}")
+        return self.inner.read(address)
+
+    def ruin(self, address: Any) -> None:
+        """Flip one bit of the blob stored at *address*, out of band (no
+        I/O charged) — bup's ``bloom --ruin``, for driving scrub/recovery
+        paths deterministically in tests."""
+        block = self.inner._blocks[address]
+        if not isinstance(block.payload, (bytes, bytearray)) or not block.payload:
+            raise TypeError(f"cannot ruin non-blob payload at {address!r}")
+        block.payload = self.injector.flip_payload(bytes(block.payload))
+        self.injector.stats.bit_flips += 1
+        self.fault_log.append(("ruin", address))
+        self._corrupt.add(address)
+
+    def delete(self, address: Any, missing_ok: bool = True) -> None:
+        self.inner.delete(address, missing_ok=missing_ok)
+        self._corrupt.discard(address)
+
+    def exists(self, address: Any) -> bool:
+        return self.inner.exists(address)
+
+    def addresses(self) -> list[Any]:
+        return self.inner.addresses()
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.inner.used_bytes
+
+
+# -- retries ----------------------------------------------------------------------
+
+@dataclass
+class RetryStats:
+    attempts: int = 0
+    retries: int = 0
+    giveups: int = 0
+    backoff_seconds: float = 0.0
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retry with deterministic exponential-backoff accounting.
+
+    ``call(fn, *args)`` invokes *fn*, retrying on
+    :class:`TransientIOError` up to ``max_attempts`` total attempts.
+    Backoff is *accounted*, not slept: ``stats.backoff_seconds``
+    accumulates ``base_backoff * multiplier**retry_index`` so experiments
+    can report time-to-recover without wall-clock sleeps.  After the last
+    attempt the error propagates — the caller decides how to degrade.
+    """
+
+    max_attempts: int = 3
+    base_backoff: float = 0.001
+    multiplier: float = 2.0
+    stats: RetryStats = field(default_factory=RetryStats)
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+    def call(self, fn: Callable, *args, **kwargs):
+        for attempt in range(self.max_attempts):
+            self.stats.attempts += 1
+            try:
+                return fn(*args, **kwargs)
+            except TransientIOError:
+                if attempt + 1 == self.max_attempts:
+                    self.stats.giveups += 1
+                    raise
+                self.stats.retries += 1
+                self.stats.backoff_seconds += self.base_backoff * self.multiplier**attempt
+        raise AssertionError("unreachable")  # pragma: no cover

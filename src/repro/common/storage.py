@@ -38,6 +38,14 @@ class IOStats:
             self.bytes_written - other.bytes_written,
         )
 
+    def __add__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            self.reads + other.reads,
+            self.writes + other.writes,
+            self.bytes_read + other.bytes_read,
+            self.bytes_written + other.bytes_written,
+        )
+
 
 @dataclass
 class _Block:
@@ -73,13 +81,23 @@ class BlockDevice:
         self.stats.bytes_read += block.size
         return block.payload
 
-    def delete(self, address: Any) -> None:
-        """Drop a block (free space; no I/O charged)."""
-        self._blocks.pop(address, None)
+    def delete(self, address: Any, missing_ok: bool = True) -> None:
+        """Drop a block (free space; no I/O charged).
+
+        With ``missing_ok=False`` a delete of an absent block raises
+        ``KeyError`` — recovery code uses this to detect double-frees and
+        lost writes instead of silently masking them.
+        """
+        if self._blocks.pop(address, None) is None and not missing_ok:
+            raise KeyError(f"delete of missing block at address {address!r}")
 
     def exists(self, address: Any) -> bool:
         """Metadata check; no I/O charged (directories are cached in RAM)."""
         return address in self._blocks
+
+    def addresses(self) -> list[Any]:
+        """All live block addresses; metadata, no I/O charged."""
+        return list(self._blocks)
 
     def __len__(self) -> int:
         return len(self._blocks)

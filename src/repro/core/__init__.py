@@ -16,6 +16,7 @@ from repro.core.analysis import (
     xor_plus_bits_per_key,
 )
 from repro.core.errors import (
+    ChecksumError,
     FilterError,
     FilterFullError,
     ImmutableFilterError,
@@ -35,6 +36,7 @@ from repro.core.registry import FEATURE_MATRIX, available_filters, make_filter
 
 __all__ = [
     "AdaptiveFilter",
+    "ChecksumError",
     "CountingFilter",
     "DynamicFilter",
     "ExpandableFilter",

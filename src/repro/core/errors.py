@@ -31,3 +31,13 @@ class NotExpandableError(FilterError):
 
 class DeletionError(FilterError):
     """Raised on a delete that the structure can prove was never inserted."""
+
+
+class ChecksumError(FilterError, ValueError):
+    """Raised when a serialized blob fails its integrity check.
+
+    A ``BBF2`` frame carries a CRC32 checksum and payload length over its
+    body; a mismatch means the blob was corrupted at rest (bit flip) or in
+    flight (torn write).  Also a :class:`ValueError` so callers that treat
+    "malformed input" uniformly can catch one type.
+    """

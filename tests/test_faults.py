@@ -1,0 +1,431 @@
+"""Fault-injection, recovery, and scrub tests (docs/robustness.md).
+
+The chaos test at the bottom is the acceptance gate for the storage
+stack: 100 seeded crash/corrupt/recover cycles over an ``LSMTree`` on a
+``FaultyBlockDevice`` must lose zero acknowledged keys and every injected
+filter-blob corruption must be reported by ``scrub()``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.lsm import LSMConfig, LSMTree
+from repro.common.faults import (
+    FaultInjector,
+    FaultyBlockDevice,
+    RetryPolicy,
+    TransientIOError,
+)
+from repro.common.storage import BlockDevice
+
+
+class TestFaultInjector:
+    def test_deterministic_given_seed(self):
+        a = FaultInjector(seed=5, bit_flip=0.3, torn_write=0.1, transient_read=0.2)
+        b = FaultInjector(seed=5, bit_flip=0.3, torn_write=0.1, transient_read=0.2)
+        ops = [a.draw_write(("filter", i)) for i in range(200)]
+        ops += [a.draw_read(("run", i)) for i in range(200)]
+        ops2 = [b.draw_write(("filter", i)) for i in range(200)]
+        ops2 += [b.draw_read(("run", i)) for i in range(200)]
+        assert ops == ops2
+        assert any(op is not None for op in ops[:200])
+
+    def test_per_address_class_rates(self):
+        inj = FaultInjector(seed=1, bit_flip={"filter": 1.0})
+        assert inj.draw_write(("filter", 3)) == "flip"
+        assert inj.draw_write(("run", 3)) is None
+        assert inj.draw_write("unrelated") is None
+
+    def test_wildcard_default_rate(self):
+        inj = FaultInjector(seed=1, transient_read={"wal": 0.0, "*": 1.0})
+        assert not inj.draw_read(("wal", 1))
+        assert inj.draw_read(("run", 1))
+
+    def test_flip_changes_exactly_one_bit(self):
+        inj = FaultInjector(seed=2)
+        payload = bytes(range(64))
+        flipped = inj.flip_payload(payload)
+        diff = [a ^ b for a, b in zip(payload, flipped)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+
+    def test_tear_truncates(self):
+        inj = FaultInjector(seed=3)
+        payload = bytes(range(64))
+        torn = inj.tear_payload(payload)
+        assert len(torn) < len(payload)
+        assert payload.startswith(torn)
+
+
+class TestFaultyBlockDevice:
+    def test_clean_passthrough(self):
+        dev = FaultyBlockDevice()
+        dev.write("a", b"hello", size=10)
+        assert dev.read("a") == b"hello"
+        assert dev.stats.writes == 1 and dev.stats.reads == 1
+        assert dev.exists("a") and not dev.exists("b")
+        assert len(dev) == 1 and dev.used_bytes == 10
+        assert dev.corrupted_addresses() == frozenset()
+
+    def test_bit_flip_corrupts_and_tracks(self):
+        dev = FaultyBlockDevice(injector=FaultInjector(seed=1, bit_flip=1.0))
+        dev.write(("filter", 1), b"\x00" * 32)
+        assert dev.read(("filter", 1)) != b"\x00" * 32
+        assert dev.corrupted_addresses() == {("filter", 1)}
+        assert dev.fault_stats.bit_flips == 1
+
+    def test_clean_overwrite_clears_corruption(self):
+        inj = FaultInjector(seed=1, bit_flip=1.0)
+        dev = FaultyBlockDevice(injector=inj)
+        dev.write("a", b"\x00" * 8)
+        inj.bit_flip = 0.0
+        dev.write("a", b"\x00" * 8)
+        assert dev.corrupted_addresses() == frozenset()
+        assert dev.read("a") == b"\x00" * 8
+
+    def test_torn_write_truncates(self):
+        dev = FaultyBlockDevice(injector=FaultInjector(seed=4, torn_write=1.0))
+        dev.write("a", b"x" * 100)
+        assert len(dev.read("a")) < 100
+        assert dev.fault_stats.torn_writes == 1
+        assert ("torn", "a") in dev.fault_log
+
+    def test_lost_write_keeps_old_content_and_charges_io(self):
+        inj = FaultInjector(seed=5)
+        dev = FaultyBlockDevice(injector=inj)
+        dev.write("a", b"old")
+        inj.lost_write = 1.0
+        dev.write("a", b"new", size=3)
+        assert dev.read("a") == b"old"
+        assert dev.stats.writes == 2  # the device acked both
+        assert dev.fault_stats.lost_writes == 1
+
+    def test_lost_write_on_fresh_address_leaves_nothing(self):
+        dev = FaultyBlockDevice(injector=FaultInjector(seed=6, lost_write=1.0))
+        dev.write("a", b"data")
+        assert not dev.exists("a")
+        with pytest.raises(KeyError):
+            dev.read("a")
+
+    def test_transient_read_raises_then_recovers(self):
+        inj = FaultInjector(seed=7, transient_read=1.0)
+        dev = FaultyBlockDevice(injector=inj)
+        dev.write("a", b"payload")
+        with pytest.raises(TransientIOError):
+            dev.read("a")
+        inj.transient_read = 0.0
+        assert dev.read("a") == b"payload"
+
+    def test_faults_skip_structured_payloads(self):
+        dev = FaultyBlockDevice(injector=FaultInjector(seed=8, bit_flip=1.0, torn_write=1.0))
+        dev.write("obj", {"k": 1}, size=4)
+        assert dev.read("obj") == {"k": 1}
+        assert dev.corrupted_addresses() == frozenset()
+
+    def test_ruin_flips_on_demand(self):
+        dev = FaultyBlockDevice()
+        dev.write("a", b"\x00" * 16)
+        dev.ruin("a")
+        assert dev.read("a") != b"\x00" * 16
+        assert dev.corrupted_addresses() == {"a"}
+        with pytest.raises(TypeError):
+            dev.write("obj", 123)
+            dev.ruin("obj")
+
+    def test_delete_clears_tracking(self):
+        dev = FaultyBlockDevice(injector=FaultInjector(seed=9, bit_flip=1.0))
+        dev.write("a", b"\x00" * 8)
+        dev.delete("a")
+        assert dev.corrupted_addresses() == frozenset()
+
+
+class TestRetryPolicy:
+    def test_retries_then_succeeds(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientIOError("try again")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=4)
+        assert policy.call(flaky) == "ok"
+        assert policy.stats.attempts == 3
+        assert policy.stats.retries == 2
+        assert policy.stats.giveups == 0
+
+    def test_gives_up_and_reraises(self):
+        policy = RetryPolicy(max_attempts=3)
+
+        def always_fail():
+            raise TransientIOError("down")
+
+        with pytest.raises(TransientIOError):
+            policy.call(always_fail)
+        assert policy.stats.giveups == 1
+        assert policy.stats.retries == 2
+
+    def test_backoff_accounting_deterministic(self):
+        policy = RetryPolicy(max_attempts=4, base_backoff=0.01, multiplier=2.0)
+
+        def always_fail():
+            raise TransientIOError("down")
+
+        with pytest.raises(TransientIOError):
+            policy.call(always_fail)
+        # 0.01 + 0.02 + 0.04 accounted; the final attempt raises.
+        assert policy.stats.backoff_seconds == pytest.approx(0.07)
+
+    def test_non_transient_errors_propagate_immediately(self):
+        policy = RetryPolicy(max_attempts=5)
+
+        def boom():
+            policy_calls.append(1)
+            raise KeyError("not transient")
+
+        policy_calls = []
+        with pytest.raises(KeyError):
+            policy.call(boom)
+        assert len(policy_calls) == 1
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+def _insert(tree: LSMTree, rng: random.Random, n: int, acked: dict) -> None:
+    for _ in range(n):
+        key = rng.randrange(1 << 24)
+        value = rng.randrange(1 << 16)
+        tree.put(key, value)
+        acked[key] = value
+
+
+class TestRecovery:
+    def test_recover_clean_device_restores_everything(self):
+        tree = LSMTree(LSMConfig(memtable_entries=16, compaction="tiering", size_ratio=4))
+        rng, acked = random.Random(0), {}
+        _insert(tree, rng, 500, acked)
+        recovered = LSMTree.recover(tree.device)
+        assert recovered.recovery_report.runs_lost == 0
+        assert recovered.recovery_report.wal_lost == 0
+        for key, value in acked.items():
+            assert recovered.get(key) == value
+
+    def test_unflushed_memtable_survives_via_wal(self):
+        tree = LSMTree(LSMConfig(memtable_entries=1000))  # nothing flushes
+        for key in range(40):
+            tree.put(key, key * 2)
+        recovered = LSMTree.recover(tree.device)
+        assert recovered.recovery_report.wal_replayed == 40
+        for key in range(40):
+            assert recovered.get(key) == key * 2
+
+    def test_tombstones_survive_recovery(self):
+        tree = LSMTree(LSMConfig(memtable_entries=16))
+        for key in range(100):
+            tree.put(key, key)
+        for key in range(0, 100, 3):
+            tree.delete(key)
+        recovered = LSMTree.recover(tree.device)
+        for key in range(100):
+            expected = "gone" if key % 3 == 0 else key
+            assert recovered.get(key, default="gone") == expected
+
+    def test_config_rehydrated_from_manifest(self):
+        tree = LSMTree(LSMConfig(memtable_entries=16, compaction="tiering", size_ratio=6))
+        rng, acked = random.Random(1), {}
+        _insert(tree, rng, 200, acked)
+        recovered = LSMTree.recover(tree.device)  # no config passed
+        assert recovered.config.compaction == "tiering"
+        assert recovered.config.size_ratio == 6
+
+    def test_corrupt_filter_blob_is_rebuilt(self):
+        dev = FaultyBlockDevice()
+        tree = LSMTree(LSMConfig(memtable_entries=16), device=dev)
+        rng, acked = random.Random(2), {}
+        _insert(tree, rng, 300, acked)
+        victims = [a for a in dev.addresses() if a[0] == "filter"][:2]
+        for victim in victims:
+            dev.ruin(victim)
+        recovered = LSMTree.recover(dev)
+        assert recovered.recovery_report.filters_rebuilt == len(victims)
+        assert recovered.recovery_report.filters_degraded == 0
+        for key, value in acked.items():
+            assert recovered.get(key) == value
+        # The rebuilt blobs are clean again.
+        assert not [a for a in dev.corrupted_addresses() if a[0] == "filter"]
+
+    def test_degraded_run_costs_one_extra_read_per_probe(self):
+        dev = FaultyBlockDevice()
+        config = LSMConfig(
+            memtable_entries=32, compaction="tiering", size_ratio=4,
+            rebuild_filters_on_recovery=False,
+        )
+        tree = LSMTree(config, device=dev)
+        rng, acked = random.Random(3), {}
+        _insert(tree, rng, 600, acked)
+        tree.flush()
+        victims = [a for a in dev.addresses() if a[0] == "filter"][:2]
+        for victim in victims:
+            dev.ruin(victim)
+        recovered = LSMTree.recover(dev, config)
+        assert recovered.recovery_report.filters_degraded == len(victims)
+        before = dev.stats.snapshot()
+        n_queries = 200
+        for q in range(n_queries):
+            recovered.get((1 << 30) + q)  # guaranteed-negative keys
+        delta = dev.stats - before
+        # Every degraded run is probed on every lookup: exactly one device
+        # read each, counted in degraded_lookups.
+        assert recovered.stats.degraded_lookups == len(victims) * n_queries
+        assert delta.reads >= len(victims) * n_queries
+
+    def test_manifest_loss_falls_back_to_device_scan(self):
+        dev = FaultyBlockDevice()
+        tree = LSMTree(LSMConfig(memtable_entries=16), device=dev)
+        rng, acked = random.Random(4), {}
+        _insert(tree, rng, 300, acked)
+        for slot in (0, 1):
+            dev.delete(("manifest", slot))
+        recovered = LSMTree.recover(dev, LSMConfig(memtable_entries=16))
+        assert recovered.recovery_report.manifest_fallback
+        assert recovered.recovery_report.runs_recovered > 0
+        for key, value in acked.items():
+            assert recovered.get(key) == value
+
+    def test_corrupt_wal_record_is_detected_not_silent(self):
+        dev = FaultyBlockDevice()
+        tree = LSMTree(LSMConfig(memtable_entries=1000), device=dev)
+        for key in range(30):
+            tree.put(key, key)
+        dev.ruin(("wal", 7))
+        recovered = LSMTree.recover(dev)
+        assert recovered.recovery_report.wal_lost == 1
+        assert recovered.recovery_report.wal_replayed == 29
+        assert recovered.stats.integrity_faults >= 1
+
+    def test_recovery_retries_transient_reads(self):
+        inj = FaultInjector(seed=11, transient_read=0.3)
+        dev = FaultyBlockDevice(injector=inj)
+        tree = LSMTree(LSMConfig(memtable_entries=16, retry_attempts=8), device=dev)
+        rng, acked = random.Random(5), {}
+        _insert(tree, rng, 300, acked)
+        recovered = LSMTree.recover(dev)
+        assert recovered.recovery_report.runs_lost == 0
+        for key, value in list(acked.items())[::7]:
+            assert recovered.get(key) == value
+        assert inj.stats.transient_reads > 0
+
+
+class TestScrub:
+    def test_clean_tree_scrubs_clean(self):
+        tree = LSMTree(LSMConfig(memtable_entries=16))
+        rng, acked = random.Random(6), {}
+        _insert(tree, rng, 200, acked)
+        report = tree.scrub()
+        assert report.blocks_checked > 0
+        assert report.corrupt == [] and report.repaired == []
+
+    def test_scrub_reports_and_repairs_filter_corruption(self):
+        dev = FaultyBlockDevice()
+        tree = LSMTree(LSMConfig(memtable_entries=16), device=dev)
+        rng, acked = random.Random(7), {}
+        _insert(tree, rng, 300, acked)
+        victims = [a for a in dev.addresses() if a[0] == "filter"][:3]
+        for victim in victims:
+            dev.ruin(victim)
+        report = tree.scrub(repair=False)
+        assert set(victims) <= set(report.corrupt)
+        assert report.repaired == []
+        report = tree.scrub(repair=True)
+        assert set(victims) <= set(report.repaired)
+        assert dev.corrupted_addresses() == frozenset()
+        assert tree.scrub(repair=False).corrupt == []
+
+    def test_scrub_repairs_run_data(self):
+        dev = FaultyBlockDevice()
+        tree = LSMTree(LSMConfig(memtable_entries=16), device=dev)
+        rng, acked = random.Random(8), {}
+        _insert(tree, rng, 200, acked)
+        victim = next(a for a in dev.addresses() if a[0] == "run")
+        dev.ruin(victim)
+        report = tree.scrub(repair=True)
+        assert victim in report.corrupt and victim in report.repaired
+        recovered = LSMTree.recover(dev)
+        assert recovered.recovery_report.runs_lost == 0
+        for key, value in acked.items():
+            assert recovered.get(key) == value
+
+    def test_scrub_repairs_manifest(self):
+        dev = FaultyBlockDevice()
+        tree = LSMTree(LSMConfig(memtable_entries=16), device=dev)
+        rng, acked = random.Random(9), {}
+        _insert(tree, rng, 200, acked)
+        victim = next(a for a in dev.addresses() if a[0] == "manifest")
+        dev.ruin(victim)
+        report = tree.scrub(repair=True)
+        assert victim in report.corrupt
+        recovered = LSMTree.recover(dev)
+        assert not recovered.recovery_report.manifest_fallback
+
+
+class TestChaos:
+    """The acceptance gate: 100 seeded crash/corrupt/recover cycles."""
+
+    def test_chaos_cycles_lose_nothing_and_scrub_finds_all(self):
+        injector = FaultInjector(
+            seed=1234,
+            bit_flip={"filter": 1e-3},
+            transient_read=1e-2,
+        )
+        device = FaultyBlockDevice(injector=injector)
+        config = LSMConfig(
+            memtable_entries=32, compaction="tiering", size_ratio=4,
+            retry_attempts=6,
+        )
+        rng = random.Random(99)
+        acked: dict[int, int] = {}
+        deleted: set[int] = set()
+        tree = LSMTree(config, device=device)
+        for cycle in range(100):
+            _insert(tree, rng, 40, acked)
+            acked_keys = set(acked) - deleted
+            if cycle % 10 == 5:
+                for key in rng.sample(sorted(acked_keys), 3):
+                    tree.delete(key)
+                    deleted.add(key)
+            # Inject targeted corruption into a live filter blob (bup's
+            # --ruin) on top of the background bit-flip schedule.
+            if cycle % 3 == 0:
+                filters = [a for a in device.addresses() if a[0] == "filter"]
+                if filters:
+                    device.ruin(rng.choice(filters))
+            # Crash: the in-memory tree is abandoned; only the device
+            # survives.  Recover and verify.
+            tree = LSMTree.recover(device, config)
+            report = tree.recovery_report
+            assert report.runs_lost == 0, f"cycle {cycle}: lost runs"
+            assert report.wal_lost == 0, f"cycle {cycle}: lost WAL records"
+            # Every corrupted live filter blob must be found by scrub.
+            corrupted = {
+                a for a in device.corrupted_addresses() if a[0] == "filter"
+            }
+            scrub = tree.scrub(repair=False)
+            assert corrupted <= set(scrub.corrupt), f"cycle {cycle}: scrub missed"
+            tree.scrub(repair=True)
+            # Spot-check acknowledged keys every cycle; full check at end.
+            live = sorted(set(acked) - deleted)
+            sample = rng.sample(live, min(50, len(live)))
+            for key in sample:
+                assert tree.get(key) == acked[key], f"cycle {cycle}: lost {key}"
+            for key in deleted:
+                assert tree.get(key, default="gone") == "gone"
+        for key, value in acked.items():
+            if key not in deleted:
+                assert tree.get(key) == value
+        assert injector.stats.bit_flips > 0
+        assert injector.stats.transient_reads > 0

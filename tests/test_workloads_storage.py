@@ -60,6 +60,37 @@ class TestBlockDevice:
         stats.reset()
         assert stats.reads == 0
 
+    def test_stats_addition(self):
+        a = IOStats(reads=3, writes=1, bytes_read=64, bytes_written=16)
+        b = IOStats(reads=2, writes=4, bytes_read=8, bytes_written=32)
+        total = a + b
+        assert total == IOStats(reads=5, writes=5, bytes_read=72, bytes_written=48)
+        # __add__ and __sub__ are inverses.
+        assert total - b == a
+
+    def test_delete_missing_tolerant_by_default(self):
+        dev = BlockDevice()
+        dev.delete("never-written")  # missing_ok=True: a no-op
+        assert len(dev) == 0
+
+    def test_delete_missing_strict(self):
+        dev = BlockDevice()
+        with pytest.raises(KeyError, match="missing block"):
+            dev.delete("never-written", missing_ok=False)
+        dev.write("a", None, size=4)
+        dev.delete("a", missing_ok=False)  # present: no error
+        assert len(dev) == 0
+
+    def test_addresses_listing_is_free(self):
+        dev = BlockDevice()
+        dev.write("a", None, size=1)
+        dev.write(("run", 7), None, size=1)
+        before = dev.stats.reads
+        assert sorted(dev.addresses(), key=str) == [("run", 7), "a"] or set(
+            dev.addresses()
+        ) == {"a", ("run", 7)}
+        assert dev.stats.reads == before
+
 
 class TestSyntheticWorkloads:
     def test_random_key_set_distinct_sorted(self):
