@@ -3,14 +3,53 @@
 Every bench prints its table/series with :func:`print_table` (run pytest
 with ``-s`` to see them) and also appends it to ``benchmarks/results.txt``
 so the output survives pytest's capture.
+
+Telemetry: when a metrics output path is configured — ``--metrics-out
+PATH`` on the command line or ``REPRO_METRICS_OUT=PATH`` in the
+environment — every :func:`print_table` call also dumps the default
+:mod:`repro.obs` registry as JSON to that path, so any bench run doubles
+as a metrics capture.  :func:`print_table` additionally rejects NaN
+cells: a NaN (e.g. from an empty filter's old ``bits_per_key``) silently
+poisons any aggregate it is averaged into, so it is a bench bug, not a
+value.
 """
 
 from __future__ import annotations
 
+import math
 import os
+import sys
 from typing import Sequence
 
 _RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def metrics_out_path() -> str | None:
+    """The configured metrics snapshot path, if any.
+
+    Checked in order: a ``--metrics-out PATH`` / ``--metrics-out=PATH``
+    argument anywhere on the command line, then ``REPRO_METRICS_OUT``.
+    """
+    argv = sys.argv
+    for i, arg in enumerate(argv):
+        if arg == "--metrics-out" and i + 1 < len(argv):
+            return argv[i + 1]
+        if arg.startswith("--metrics-out="):
+            return arg.split("=", 1)[1]
+    return os.environ.get("REPRO_METRICS_OUT")
+
+
+def dump_metrics(path: str | None = None) -> str | None:
+    """Write the default registry's JSON snapshot to *path* (or the
+    configured path); returns the path written, or None if unconfigured."""
+    from repro import obs
+
+    path = path if path is not None else metrics_out_path()
+    if not path:
+        return None
+    with open(path, "w") as fh:
+        fh.write(obs.to_json(obs.default_registry()))
+    return path
 
 
 def print_table(
@@ -20,6 +59,12 @@ def print_table(
     note: str = "",
 ) -> None:
     """Render an experiment table to stdout and the results file."""
+    for row in rows:
+        for value in row:
+            assert not (isinstance(value, float) and math.isnan(value)), (
+                f"NaN cell in {title!r} row {row!r} — NaN poisons aggregates; "
+                f"fix the bench (empty-filter bits_per_key is 0.0, not nan)"
+            )
     widths = [
         max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
         for i, h in enumerate(headers)
@@ -35,6 +80,7 @@ def print_table(
     print(text)
     with open(_RESULTS_PATH, "a") as fh:
         fh.write(text + "\n")
+    dump_metrics()
 
 
 def _fmt(value: object) -> str:

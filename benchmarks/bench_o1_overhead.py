@@ -1,0 +1,133 @@
+"""O1 — instrumentation overhead (docs/observability.md).
+
+Claim checked: wrapping a filter in
+:class:`~repro.obs.instrument.InstrumentedFilter` costs a bounded,
+constant per-probe overhead — the instrumented/bare probe-throughput
+ratio stays ≥ 0.5 (metric children are bound once at construction, so
+the per-probe cost is one lock-guarded counter increment).  Also
+measured: the inactive-tracing fast path (a ``trace()`` block with no
+recorder installed) and the fully-active path (ring-buffer recorder on),
+so the table shows what each observability layer costs when off vs on.
+
+Results feed EXPERIMENTS.md O1.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.core.registry import make_filter
+
+from _util import print_table
+
+N = 1 << 14
+ROUNDS = 3
+FILTERS = ["bloom", "blocked-bloom", "quotient", "cuckoo", "xor"]
+
+
+def _build(name, members):
+    if name == "xor":
+        return make_filter(name, keys=members, epsilon=0.01, seed=11)
+    filt = make_filter(name, capacity=N, epsilon=0.01, seed=11)
+    for key in members:
+        filt.insert(key)
+    return filt
+
+
+def _probe_rate(filt, queries, traced: bool = False) -> float:
+    """Best-of-ROUNDS probes/second over the mixed query batch.
+
+    With ``traced=True`` each probe runs inside a ``filter.probe`` span,
+    so the rate includes span allocation and ring-buffer recording.
+    """
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        hits = 0
+        if traced:
+            for key in queries:
+                with obs.trace("filter.probe"):
+                    if filt.may_contain(key):
+                        hits += 1
+        else:
+            for key in queries:
+                if filt.may_contain(key):
+                    hits += 1
+        best = min(best, time.perf_counter() - start)
+        assert hits  # keep the loop honest
+    return len(queries) / best
+
+
+def test_o1_instrumentation_overhead(bench_keys):
+    members, negatives = bench_keys
+    members = members[:N]
+    queries = members[: N // 2] + negatives[: N // 2]
+    rows = []
+    worst_ratio = 1.0
+    for name in FILTERS:
+        bare = _build(name, members)
+        with obs.use_registry():
+            instrumented = obs.InstrumentedFilter(
+                _build(name, members), name=name, ground_truth=set(members)
+            )
+            bare_rate = _probe_rate(bare, queries)
+            inst_rate = _probe_rate(instrumented, queries)
+            with obs.use_recorder(obs.TraceRecorder(capacity=64)):
+                traced_rate = _probe_rate(instrumented, queries, traced=True)
+        ratio = inst_rate / bare_rate
+        worst_ratio = min(worst_ratio, ratio)
+        rows.append(
+            (
+                name,
+                round(bare_rate),
+                round(inst_rate),
+                round(ratio, 3),
+                round(traced_rate / bare_rate, 3),
+            )
+        )
+    print_table(
+        "O1: instrumented vs bare probe throughput",
+        ["filter", "bare probes/s", "instrumented probes/s",
+         "ratio (off)", "ratio (recorder on)"],
+        rows,
+        note="ratio (off) is the acceptance metric: >= 0.5 required; "
+             "recorder-on adds span accounting on the same probes",
+    )
+    assert worst_ratio >= 0.5, f"instrumentation overhead too high: {worst_ratio}"
+
+
+def test_o1_trace_noop_fast_path(bench_keys):
+    """The inactive trace() guard alone (no recorder) must be cheap."""
+    members, _ = bench_keys
+    queries = members[:4096]
+    filt = _build("bloom", queries)
+
+    def plain():
+        for key in queries:
+            filt.may_contain(key)
+
+    def guarded():
+        for key in queries:
+            with obs.trace("probe"):
+                filt.may_contain(key)
+
+    def timed(fn):
+        best = float("inf")
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return len(queries) / best
+
+    plain_rate, guarded_rate = timed(plain), timed(guarded)
+    print_table(
+        "O1: inactive trace() guard cost",
+        ["variant", "probes/s", "ratio"],
+        [
+            ("no trace()", round(plain_rate), 1.0),
+            ("trace() no recorder", round(guarded_rate),
+             round(guarded_rate / plain_rate, 3)),
+        ],
+    )
+    assert guarded_rate / plain_rate >= 0.25

@@ -7,6 +7,15 @@ import pytest
 from repro.workloads.synthetic import disjoint_key_sets
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--metrics-out",
+        default=None,
+        help="dump the repro.obs default-registry JSON snapshot here after "
+             "each bench table (see benchmarks/_util.py)",
+    )
+
+
 @pytest.fixture(scope="session")
 def bench_keys():
     """2^14 member keys + 20k negatives (the T2/T3/T4 workload)."""

@@ -9,6 +9,15 @@ space --epsilon E [--n N]
     FPR, against the information lower bound (the §2/§2.7 formulas).
 monkey --levels n1,n2,... --bits-per-key B
     Print Monkey's optimal per-level FPR allocation vs uniform (§3.1).
+stats [--workload B] [--format table|prometheus|json] [--selftest]
+    Run a YCSB-style workload against a filtered LSM-tree on a (mildly)
+    faulty device and print the telemetry registry: per-level filter FP
+    rates, device read/write counters, retry backoff quantiles.
+    ``--metrics-out PATH`` additionally writes the JSON snapshot;
+    ``--selftest`` audits the registry and exporters (the CI gate).
+trace [--n-gets N] [--fault-rate R]
+    Record probe traces through ``LSMTree.get`` under fault injection
+    and print the most interesting span tree.
 
 (For end-to-end demonstrations, run the scripts in ``examples/``.)
 """
@@ -75,6 +84,116 @@ def _cmd_monkey(args) -> int:
     return 0
 
 
+def _build_workload_tree(args, registry):
+    """A filtered LSM-tree on a faulty device, loaded and driven with the
+    requested YCSB mix plus a negative-lookup sweep (so realised filter
+    FP rates are measurable, not vacuously zero)."""
+    from repro.apps.lsm import LSMConfig, LSMTree
+    from repro.common.faults import FaultInjector, FaultyBlockDevice
+    from repro.workloads.ycsb import run_workload
+
+    injector = FaultInjector(
+        seed=args.seed, transient_read={"run": args.fault_rate}
+    )
+    device = FaultyBlockDevice(injector=injector)
+    tree = LSMTree(
+        LSMConfig(
+            memtable_entries=args.memtable_entries,
+            compaction=args.compaction,
+            retry_attempts=8,
+            seed=args.seed,
+        ),
+        device=device,
+    )
+    keys = list(range(args.n_keys))
+    for key in keys:
+        tree.put(key, key * 7)
+    result = run_workload(
+        tree, args.workload, args.n_ops, key_space=keys, seed=args.seed
+    )
+    # Negative sweep: keys far outside the loaded space, so every device
+    # read they cause is a realised filter false positive.
+    for i in range(args.n_ops // 2):
+        tree.get(10_000_000 + i)
+    tree.publish_gauges(registry)
+    return tree, result
+
+
+def _add_workload_args(parser) -> None:
+    parser.add_argument("--workload", choices=list("ABCDE"), default="B",
+                        help="YCSB mix (default B: read-mostly)")
+    parser.add_argument("--n-keys", type=int, default=2000)
+    parser.add_argument("--n-ops", type=int, default=2000)
+    parser.add_argument("--memtable-entries", type=int, default=128)
+    parser.add_argument("--compaction", default="leveling",
+                        choices=["leveling", "tiering", "lazy-leveling"])
+    parser.add_argument("--fault-rate", type=float, default=0.02,
+                        help="transient-read probability on run blocks")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_stats(args) -> int:
+    from repro import obs
+
+    with obs.use_registry() as registry:
+        if args.selftest:
+            # Populate the registry with the real instrumented stack first,
+            # then audit names, uniqueness, and exporter round-trips.
+            args.n_keys, args.n_ops = min(args.n_keys, 600), min(args.n_ops, 300)
+            _build_workload_tree(args, registry)
+            failures = obs.selftest(registry)
+            for failure in failures:
+                print(f"selftest FAIL: {failure}")
+            print(f"selftest: {len(registry.metrics())} metric families audited, "
+                  f"{len(failures)} failure(s)")
+            return 1 if failures else 0
+        tree, result = _build_workload_tree(args, registry)
+        if args.format == "prometheus":
+            output = obs.to_prometheus(registry)
+        elif args.format == "json":
+            output = obs.to_json(registry)
+        else:
+            ops = " ".join(f"{op}={n}" for op, n in sorted(result.ops.items()))
+            output = (
+                obs.render_table(
+                    registry,
+                    title=f"telemetry — YCSB-{args.workload}, {args.n_ops} ops "
+                          f"({ops}), {args.n_keys} keys",
+                )
+                + f"\nsum-of-FPRs (expected): {tree.sum_of_fprs():.4f}"
+            )
+        print(output)
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as fh:
+                fh.write(obs.to_json(registry))
+            print(f"metrics snapshot written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro import obs
+
+    recorder = obs.TraceRecorder(capacity=4 * args.n_ops + 16)
+    with obs.use_registry() as registry, obs.use_recorder(recorder):
+        _build_workload_tree(args, registry)
+        if not len(recorder):
+            print("no spans recorded")
+            return 1
+        # The most interesting probe: the widest tree (most spans) —
+        # under fault injection that is one with retries in it.
+        roots = recorder.roots
+        best = max(roots, key=lambda root: len(list(root.walk())))
+        n_spans = sum(len(list(root.walk())) for root in roots)
+        print(f"recorded {len(roots)} probe trees ({n_spans} spans); deepest:")
+        print(obs.render_tree(best))
+        retries = recorder.find("retry.attempt")
+        print(f"\nspan counts: lsm.get={len(recorder.find('lsm.get'))} "
+              f"filter.probe={len(recorder.find('filter.probe'))} "
+              f"device.read={len(recorder.find('device.read'))} "
+              f"retry.attempt={len(retries)}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -89,6 +208,18 @@ def main(argv: list[str] | None = None) -> int:
     p_monkey.add_argument("--levels", type=str, default="100,1000,10000,100000")
     p_monkey.add_argument("--bits-per-key", type=float, default=8.0)
 
+    p_stats = sub.add_parser("stats", help="run a workload, print telemetry")
+    _add_workload_args(p_stats)
+    p_stats.add_argument("--format", choices=["table", "prometheus", "json"],
+                         default="table")
+    p_stats.add_argument("--metrics-out", type=str, default=None,
+                         help="also write the JSON snapshot to this path")
+    p_stats.add_argument("--selftest", action="store_true",
+                         help="audit registry + exporters and exit (CI gate)")
+
+    p_trace = sub.add_parser("trace", help="record and print a probe trace")
+    _add_workload_args(p_trace)
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -98,6 +229,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_space(args)
     if args.command == "monkey":
         return _cmd_monkey(args)
+    if args.command == "stats":
+        if not 0 <= args.fault_rate < 1:
+            parser.error("--fault-rate must be in [0, 1)")
+        return _cmd_stats(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

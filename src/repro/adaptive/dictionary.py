@@ -10,6 +10,12 @@ feeds them back via ``report_false_positive``.
 Experiments T5/F3 measure exactly the quantity the tutorial highlights:
 the number of wasted negative-lookup I/Os under adversarial and Zipfian
 query streams.
+
+Telemetry: lookups accrue to ``repro_dict_queries_total{outcome=
+negative|hit|false_positive}`` and adaptation events to
+``repro_dict_adaptations_total`` in the default :mod:`repro.obs`
+registry; ``dict.get`` / ``filter.probe`` / ``filter.adapt`` spans are
+emitted when tracing is on.
 """
 
 from __future__ import annotations
@@ -19,6 +25,8 @@ from typing import Any
 
 from repro.common.storage import BlockDevice
 from repro.core.interfaces import AdaptiveFilter, Key
+from repro.obs.metrics import default_registry
+from repro.obs.tracing import trace
 
 
 @dataclass
@@ -62,21 +70,37 @@ class FilteredDictionary:
 
     def get(self, key: Key, default: Any = None) -> Any:
         """Point lookup.  Disk is touched only when the filter says maybe."""
-        self.stats.queries += 1
-        if not self._filter.may_contain(key):
+        queries = default_registry().counter(
+            "repro_dict_queries_total",
+            "filtered-dictionary lookups, by outcome",
+            labels=("outcome",),
+        )
+        with trace("dict.get", key=key):
+            self.stats.queries += 1
+            with trace("filter.probe"):
+                maybe = self._filter.may_contain(key)
+            if not maybe:
+                queries.labels(outcome="negative").inc()
+                return default
+            self.stats.disk_reads += 1
+            if self._device.exists(("kv", key)):
+                self.stats.positive_hits += 1
+                queries.labels(outcome="hit").inc()
+                return self._device.read(("kv", key))
+            # Confirmed false positive: this is the moment the paper's adaptive
+            # loop closes — the expensive read already happened, so reporting
+            # back to the filter is free.
+            self.stats.false_positives += 1
+            queries.labels(outcome="false_positive").inc()
+            if self._adaptive:
+                with trace("filter.adapt"):
+                    self._filter.report_false_positive(key)
+                self.stats.adaptations_fed_back += 1
+                default_registry().counter(
+                    "repro_dict_adaptations_total",
+                    "false positives fed back to an adaptive filter",
+                ).inc()
             return default
-        self.stats.disk_reads += 1
-        if self._device.exists(("kv", key)):
-            self.stats.positive_hits += 1
-            return self._device.read(("kv", key))
-        # Confirmed false positive: this is the moment the paper's adaptive
-        # loop closes — the expensive read already happened, so reporting
-        # back to the filter is free.
-        self.stats.false_positives += 1
-        if self._adaptive:
-            self._filter.report_false_positive(key)
-            self.stats.adaptations_fed_back += 1
-        return default
 
     def __contains__(self, key: Key) -> bool:
         sentinel = object()

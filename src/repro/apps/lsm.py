@@ -34,6 +34,14 @@ filter whose blob fails its checksum from the run's keys, or degrading
 that run to "always probe" when rebuilding is disabled.  :meth:`scrub`
 walks all blobs, reports corruption, and optionally repairs it — the
 ``bup bloom --check/--regenerate`` workflow as a method.
+
+Telemetry (docs/observability.md): lookups, per-level filter probes and
+realised false positives, WAL appends, flushes and compactions accrue as
+counters in the default :mod:`repro.obs` registry;
+:meth:`LSMTree.publish_gauges` derives per-level FP rates and tree-shape
+gauges on demand, and the read path emits ``lsm.get`` → ``filter.probe``
+/ ``device.read`` → ``retry.attempt`` trace spans whenever a
+:class:`~repro.obs.tracing.TraceRecorder` is installed.
 """
 
 from __future__ import annotations
@@ -46,6 +54,8 @@ from typing import Any, Callable
 from repro.common.faults import RetryPolicy, TransientIOError
 from repro.common.storage import BlockDevice, IOStats
 from repro.core.errors import ChecksumError
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import trace
 from repro.core.serialize import dumps as filter_dumps
 from repro.core.serialize import frame, loads as filter_loads, unframe, verify as filter_verify
 from repro.filters.bloom import BloomFilter
@@ -168,6 +178,49 @@ class LSMStats:
         return self.wasted_lookup_ios / self.lookups if self.lookups else 0.0
 
 
+class _LSMMetrics:
+    """Handles into the default registry, rebound when it is swapped.
+
+    Metric names follow docs/observability.md: the per-level filter
+    counters are the series ``python -m repro stats`` derives the
+    per-level FP-rate table from.
+    """
+
+    __slots__ = ("registry", "lookups", "io_hit", "io_wasted", "probes", "fps",
+                 "wal_appends", "flushes", "compactions")
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self.lookups = registry.counter(
+            "repro_lsm_lookups_total", "point lookups served by LSMTree.get"
+        )
+        ios = registry.counter(
+            "repro_lsm_lookup_ios_total", "run reads during lookups, by outcome",
+            labels=("outcome",),
+        )
+        self.io_hit = ios.labels(outcome="hit")
+        self.io_wasted = ios.labels(outcome="wasted")
+        self.probes = registry.counter(
+            "repro_lsm_filter_probes_total",
+            "per-run filter probes during lookups, by level and result",
+            labels=("level", "result"),
+        )
+        self.fps = registry.counter(
+            "repro_lsm_filter_false_positives_total",
+            "filter said maybe but the run did not hold the key, by level",
+            labels=("level",),
+        )
+        self.wal_appends = registry.counter(
+            "repro_lsm_wal_appends_total", "write-ahead-log records appended"
+        )
+        self.flushes = registry.counter(
+            "repro_lsm_flushes_total", "memtable flushes"
+        )
+        self.compactions = registry.counter(
+            "repro_lsm_compactions_total", "run merges (compactions)"
+        )
+
+
 @dataclass
 class RecoveryReport:
     """What :meth:`LSMTree.recover` found and did."""
@@ -218,12 +271,20 @@ class LSMTree:
         self._global_range_filter: Any = None
         self._global_dirty = True
         self.recovery_report: RecoveryReport | None = None
+        self._obs: _LSMMetrics | None = None
+
+    def _metrics(self) -> _LSMMetrics:
+        registry = default_registry()
+        if self._obs is None or self._obs.registry is not registry:
+            self._obs = _LSMMetrics(registry)
+        return self._obs
 
     # -- device helpers ---------------------------------------------------------
 
     def _read_block(self, address):
         """Device read with bounded retry on transient faults."""
-        return self.retry.call(self.device.read, address)
+        with trace("device.read", address=address):
+            return self.retry.call(self.device.read, address)
 
     def _safe_delete(self, address) -> None:
         """Strict delete: a missing block means a lost write or double-free
@@ -241,6 +302,7 @@ class LSMTree:
             self.device.write(("wal", self._next_wal_seq), body, size=_ENTRY_BYTES)
             self._wal_pending.append(self._next_wal_seq)
             self._next_wal_seq += 1
+            self._metrics().wal_appends.inc()
         self._memtable[key] = value
         self.stats.bytes_ingested += _ENTRY_BYTES
         if len(self._memtable) >= self.config.memtable_entries:
@@ -253,6 +315,7 @@ class LSMTree:
     def flush(self) -> None:
         if not self._memtable:
             return
+        self._metrics().flushes.inc()
         keys = sorted(self._memtable)
         values = [self._memtable[k] for k in keys]
         self._memtable = {}
@@ -436,6 +499,7 @@ class LSMTree:
             values.append(value)
         self._emit_run(dst_level, keys, values)
         self.stats.compactions += 1
+        self._metrics().compactions.inc()
 
     # -- read path -------------------------------------------------------------------
 
@@ -449,10 +513,21 @@ class LSMTree:
         return run.get(key)
 
     def get(self, key: int, default: Any = None) -> Any:
+        """Point lookup.  Traced (``lsm.get`` → ``filter.probe`` /
+        ``device.read`` → ``retry.attempt``) when a trace recorder is
+        installed; per-level probe and FP counters always accrue."""
+        with trace("lsm.get", key=key) as span:
+            found, value = self._get(key)
+            span.set_tag("found", found)
+            return value if found else default
+
+    def _get(self, key: int) -> tuple[bool, Any]:
+        m = self._metrics()
+        m.lookups.inc()
         self.stats.lookups += 1
         if key in self._memtable:
             value = self._memtable[key]
-            return default if value is TOMBSTONE else value
+            return value is not TOMBSTONE, value
 
         if self._maplet is not None:
             candidates = set(self._maplet.get(key))
@@ -468,23 +543,40 @@ class LSMTree:
                 self.stats.lookup_ios += 1
                 found, value = self._read_run(run, key)
                 if found:
-                    return default if value is TOMBSTONE else value
+                    m.io_hit.inc()
+                    return value is not TOMBSTONE, value
                 self.stats.wasted_lookup_ios += 1
-            return default
+                m.io_wasted.inc()
+            return False, None
 
         for run in self._runs_newest_first():
+            filtered = False
             if run.degraded:
                 # Lost filter: this run must always be probed — exactly one
                 # extra device read per probe (EXPERIMENTS.md R1).
                 self.stats.degraded_lookups += 1
-            elif run.filter is not None and not run.filter.may_contain(key):
-                continue
+            elif run.filter is not None:
+                level = str(run.level)
+                with trace("filter.probe", level=run.level, run=run.run_id) as sp:
+                    maybe = run.filter.may_contain(key)
+                    sp.set_tag("maybe", maybe)
+                if not maybe:
+                    m.probes.labels(level=level, result="negative").inc()
+                    continue
+                m.probes.labels(level=level, result="positive").inc()
+                filtered = True
             self.stats.lookup_ios += 1
             found, value = self._read_run(run, key)
             if found:
-                return default if value is TOMBSTONE else value
+                m.io_hit.inc()
+                return value is not TOMBSTONE, value
             self.stats.wasted_lookup_ios += 1
-        return default
+            m.io_wasted.inc()
+            if filtered:
+                # The filter passed a key its run did not hold: a realised
+                # false positive at this level.
+                m.fps.labels(level=str(run.level)).inc()
+        return False, None
 
     def _refresh_global_range_filter(self) -> None:
         factory = self.config.global_range_filter_factory
@@ -820,3 +912,40 @@ class LSMTree:
                 if run.filter is not None:
                     total += run.filter.epsilon
         return total
+
+    def publish_gauges(self, registry: MetricsRegistry | None = None) -> None:
+        """Derive point-in-time gauges from the tree and its counters.
+
+        Counters accrue continuously; gauges (per-level realised FP rate,
+        write amplification, filter bits/key, tree shape) are computed on
+        demand — call this before exporting, as ``python -m repro stats``
+        does.  The realised FP rate at a level is ``fp / (negatives +
+        fp)``: probes for keys truly absent from the probed run are its
+        filter negatives (never false) plus its confirmed false positives.
+        """
+        reg = registry if registry is not None else default_registry()
+        m = self._metrics() if reg is default_registry() else _LSMMetrics(reg)
+        fp_rate = reg.gauge(
+            "repro_lsm_filter_fp_rate",
+            "realised per-level filter false-positive rate", labels=("level",),
+        )
+        for level_index in range(len(self._levels)):
+            level = str(level_index)
+            negatives = m.probes.labels(level=level, result="negative").value
+            fps = m.fps.labels(level=level).value
+            absent = negatives + fps
+            fp_rate.labels(level=level).set(fps / absent if absent else 0.0)
+        reg.gauge(
+            "repro_lsm_expected_sum_fpr", "sum over runs of expected filter FPR"
+        ).set(self.sum_of_fprs())
+        reg.gauge(
+            "repro_lsm_write_amplification", "device bytes written per byte ingested"
+        ).set(self.write_amplification)
+        reg.gauge(
+            "repro_lsm_filter_bits_per_key", "filter memory over on-disk entries"
+        ).set(self.filter_bits_per_key)
+        reg.gauge("repro_lsm_levels", "populated level count").set(self.n_levels)
+        reg.gauge("repro_lsm_runs", "live run count").set(self.n_runs)
+        reg.gauge("repro_lsm_entries_on_disk", "entries across all runs").set(
+            self.n_entries_on_disk
+        )

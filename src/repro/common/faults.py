@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.common.storage import BlockDevice, IOStats, _default_size
+from repro.obs.metrics import default_registry
+from repro.obs.tracing import trace
 
 
 class TransientIOError(OSError):
@@ -56,6 +58,15 @@ class FaultStats:
     @property
     def total(self) -> int:
         return self.bit_flips + self.torn_writes + self.lost_writes + self.transient_reads
+
+
+def _count_fault(kind: str) -> None:
+    """Mirror one injected fault into the default metrics registry."""
+    default_registry().counter(
+        "repro_device_faults_total",
+        "faults injected by FaultyBlockDevice, by kind",
+        labels=("kind",),
+    ).labels(kind=kind).inc()
 
 
 class FaultInjector:
@@ -157,14 +168,15 @@ class FaultyBlockDevice:
         if action == "lost":
             self.injector.stats.lost_writes += 1
             self.fault_log.append(("lost", address))
+            _count_fault("lost_write")
             # Charge the I/O without storing: the old block (if any) survives.
-            self.inner.stats.writes += 1
-            self.inner.stats.bytes_written += size
+            self.inner._count_write(size)
             return
         if action == "flip" and is_blob:
             payload = self.injector.flip_payload(bytes(payload))
             self.injector.stats.bit_flips += 1
             self.fault_log.append(("flip", address))
+            _count_fault("bit_flip")
             self.inner.write(address, payload, size=size)
             self._corrupt.add(address)
             return
@@ -172,6 +184,7 @@ class FaultyBlockDevice:
             payload = self.injector.tear_payload(bytes(payload))
             self.injector.stats.torn_writes += 1
             self.fault_log.append(("torn", address))
+            _count_fault("torn_write")
             self.inner.write(address, payload, size=size)
             self._corrupt.add(address)
             return
@@ -182,6 +195,7 @@ class FaultyBlockDevice:
         if self.injector.draw_read(address):
             self.injector.stats.transient_reads += 1
             self.fault_log.append(("transient", address))
+            _count_fault("transient_read")
             raise TransientIOError(f"transient read failure at address {address!r}")
         return self.inner.read(address)
 
@@ -195,6 +209,7 @@ class FaultyBlockDevice:
         block.payload = self.injector.flip_payload(bytes(block.payload))
         self.injector.stats.bit_flips += 1
         self.fault_log.append(("ruin", address))
+        _count_fault("bit_flip")
         self._corrupt.add(address)
 
     def delete(self, address: Any, missing_ok: bool = True) -> None:
@@ -247,14 +262,29 @@ class RetryPolicy:
             raise ValueError("max_attempts must be at least 1")
 
     def call(self, fn: Callable, *args, **kwargs):
+        registry = default_registry()
+        attempts = registry.counter(
+            "repro_retry_attempts_total", "retry-policy call attempts, by outcome",
+            labels=("outcome",),
+        )
         for attempt in range(self.max_attempts):
             self.stats.attempts += 1
             try:
-                return fn(*args, **kwargs)
+                with trace("retry.attempt", attempt=attempt):
+                    result = fn(*args, **kwargs)
+                attempts.labels(outcome="ok").inc()
+                return result
             except TransientIOError:
                 if attempt + 1 == self.max_attempts:
                     self.stats.giveups += 1
+                    attempts.labels(outcome="giveup").inc()
                     raise
                 self.stats.retries += 1
-                self.stats.backoff_seconds += self.base_backoff * self.multiplier**attempt
+                attempts.labels(outcome="retry").inc()
+                backoff = self.base_backoff * self.multiplier**attempt
+                self.stats.backoff_seconds += backoff
+                registry.histogram(
+                    "repro_retry_backoff_seconds",
+                    "simulated exponential-backoff delay per retry",
+                ).observe(backoff)
         raise AssertionError("unreachable")  # pragma: no cover

@@ -4,46 +4,75 @@ Every application in :mod:`repro.apps` (LSM-tree, circular log, joins, the
 dictionary harness used for adaptivity experiments) reads and writes through
 a :class:`BlockDevice` so that experiments can report *device I/Os*, the
 metric the tutorial's storage claims are stated in.
+
+Telemetry: alongside the per-device :class:`IOStats`, every operation
+increments process-wide counters in the default
+:class:`~repro.obs.metrics.MetricsRegistry` (``repro_device_reads_total``,
+``repro_device_writes_total``, ``repro_device_bytes_{read,written}_total``),
+so device traffic shows up in ``python -m repro stats`` without any
+plumbing.  Counter handles are rebound when the default registry is
+swapped (tests scope registries with ``obs.use_registry()``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, default_registry
 
 
 @dataclass
 class IOStats:
-    """Running counters of simulated device traffic."""
+    """Running counters of simulated device traffic.
+
+    ``as_dict`` is the single source of truth for the field set;
+    ``reset``/``snapshot``/``__add__``/``__sub__`` all derive from it, so
+    a new counter field cannot be silently dropped by one of them.
+    """
 
     reads: int = 0
     writes: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
 
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
     def reset(self) -> None:
-        self.reads = 0
-        self.writes = 0
-        self.bytes_read = 0
-        self.bytes_written = 0
+        for name in self.as_dict():
+            setattr(self, name, 0)
 
     def snapshot(self) -> "IOStats":
-        return IOStats(self.reads, self.writes, self.bytes_read, self.bytes_written)
+        return IOStats(**self.as_dict())
 
     def __sub__(self, other: "IOStats") -> "IOStats":
-        return IOStats(
-            self.reads - other.reads,
-            self.writes - other.writes,
-            self.bytes_read - other.bytes_read,
-            self.bytes_written - other.bytes_written,
-        )
+        theirs = other.as_dict()
+        return IOStats(**{k: v - theirs[k] for k, v in self.as_dict().items()})
 
     def __add__(self, other: "IOStats") -> "IOStats":
-        return IOStats(
-            self.reads + other.reads,
-            self.writes + other.writes,
-            self.bytes_read + other.bytes_read,
-            self.bytes_written + other.bytes_written,
+        theirs = other.as_dict()
+        return IOStats(**{k: v + theirs[k] for k, v in self.as_dict().items()})
+
+
+class _DeviceMetrics:
+    """Default-registry counter handles, rebound on registry swap."""
+
+    __slots__ = ("registry", "reads", "writes", "bytes_read", "bytes_written")
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self.reads = registry.counter(
+            "repro_device_reads_total", "block reads across all simulated devices"
+        )
+        self.writes = registry.counter(
+            "repro_device_writes_total", "block writes across all simulated devices"
+        )
+        self.bytes_read = registry.counter(
+            "repro_device_bytes_read_total", "simulated bytes read"
+        )
+        self.bytes_written = registry.counter(
+            "repro_device_bytes_written_total", "simulated bytes written"
         )
 
 
@@ -63,14 +92,27 @@ class BlockDevice:
     def __init__(self):
         self._blocks: dict[Any, _Block] = {}
         self.stats = IOStats()
+        self._obs: _DeviceMetrics | None = None
+
+    def _metrics(self) -> _DeviceMetrics:
+        registry = default_registry()
+        if self._obs is None or self._obs.registry is not registry:
+            self._obs = _DeviceMetrics(registry)
+        return self._obs
 
     def write(self, address: Any, payload: Any, size: int | None = None) -> None:
         """Write *payload* at *address*; counts one device write."""
         if size is None:
             size = _default_size(payload)
         self._blocks[address] = _Block(payload, size)
+        self._count_write(size)
+
+    def _count_write(self, size: int) -> None:
         self.stats.writes += 1
         self.stats.bytes_written += size
+        m = self._metrics()
+        m.writes.inc()
+        m.bytes_written.inc(size)
 
     def read(self, address: Any) -> Any:
         """Read the block at *address*; counts one device read."""
@@ -79,6 +121,9 @@ class BlockDevice:
             raise KeyError(f"no block at address {address!r}")
         self.stats.reads += 1
         self.stats.bytes_read += block.size
+        m = self._metrics()
+        m.reads.inc()
+        m.bytes_read.inc(block.size)
         return block.payload
 
     def delete(self, address: Any, missing_ok: bool = True) -> None:

@@ -39,9 +39,13 @@ class Filter(abc.ABC):
 
     @property
     def bits_per_key(self) -> float:
-        """Logical bits per stored key (nan when empty)."""
+        """Logical bits per stored key (0.0 when empty).
+
+        Empty filters report 0.0, not nan: a nan silently poisons any
+        benchmark aggregate it is averaged into.
+        """
         n = len(self)
-        return self.size_in_bits / n if n else float("nan")
+        return self.size_in_bits / n if n else 0.0
 
     @abc.abstractmethod
     def __len__(self) -> int:
@@ -119,7 +123,7 @@ class Maplet(abc.ABC):
     @property
     def bits_per_key(self) -> float:
         n = len(self)
-        return self.size_in_bits / n if n else float("nan")
+        return self.size_in_bits / n if n else 0.0
 
 
 class DynamicMaplet(Maplet):
@@ -153,7 +157,7 @@ class RangeFilter(abc.ABC):
     @property
     def bits_per_key(self) -> float:
         n = len(self)
-        return self.size_in_bits / n if n else float("nan")
+        return self.size_in_bits / n if n else 0.0
 
 
 class AdaptiveFilter(DynamicFilter):

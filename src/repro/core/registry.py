@@ -88,13 +88,28 @@ def make_filter(
     epsilon: float = 0.01,
     keys: Iterable[Key] | None = None,
     seed: int = 0,
+    instrument: bool | str = False,
     **kwargs: Any,
 ):
     """Construct a filter by taxonomy name.
 
     Dynamic/semi-dynamic filters need *capacity*; static filters need
     *keys*.  Extra keyword arguments pass through to the constructor.
+
+    With ``instrument=True`` (or a string naming the metric series) the
+    result is wrapped in :class:`~repro.obs.instrument.InstrumentedFilter`,
+    so probe/insert telemetry accrues to the default registry under the
+    taxonomy name — the observability hook for every filter family.
     """
+    if instrument:
+        from repro.obs.instrument import InstrumentedFilter
+
+        inner = make_filter(
+            name, capacity=capacity, epsilon=epsilon, keys=keys, seed=seed, **kwargs
+        )
+        return InstrumentedFilter(
+            inner, name=instrument if isinstance(instrument, str) else name
+        )
     features = FEATURE_MATRIX.get(name)
     if features is None:
         raise ValueError(f"unknown filter {name!r}; see available_filters()")

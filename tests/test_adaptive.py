@@ -10,7 +10,6 @@ from repro.adaptive.dictionary import FilteredDictionary
 from repro.adaptive.telescoping import TelescopingFilter
 from repro.core.errors import DeletionError
 from repro.filters.bloom import BloomFilter
-from repro.workloads.synthetic import disjoint_key_sets
 
 ADAPTIVE_FACTORIES = [
     lambda n: AdaptiveCuckooFilter.for_capacity(n, 0.02, seed=3),

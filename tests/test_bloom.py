@@ -71,8 +71,9 @@ class TestBloomFilter:
         with pytest.raises(ValueError):
             BloomFilter(10, 0.01, n_hashes=0)
 
-    def test_empty_bits_per_key_nan(self):
-        assert math.isnan(BloomFilter(10, 0.01).bits_per_key)
+    def test_empty_bits_per_key_is_zero(self):
+        # 0.0, not nan: nan silently poisons benchmark aggregates.
+        assert BloomFilter(10, 0.01).bits_per_key == 0.0
 
 
 class TestBlockedBloomFilter:

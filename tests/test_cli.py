@@ -38,3 +38,65 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+_SMALL = ["--n-keys", "400", "--n-ops", "200", "--memtable-entries", "64"]
+
+
+class TestStatsCommand:
+    def test_table_has_fp_rate_device_and_retry_rows(self, capsys):
+        assert main(["stats", *_SMALL, "--fault-rate", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_lsm_filter_fp_rate{level=" in out
+        assert "repro_device_reads_total" in out
+        assert "repro_device_writes_total" in out
+        assert "repro_retry_backoff_seconds" in out
+        assert "p50=" in out and "p99=" in out
+        assert "YCSB-B" in out
+
+    def test_prometheus_format_round_trips(self, capsys):
+        from repro import obs
+
+        assert main(["stats", *_SMALL, "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        samples = obs.parse_prometheus(out)
+        assert "repro_lsm_lookups_total" in samples
+        assert "repro_device_reads_total" in samples
+        assert samples["repro_lsm_lookups_total"][()] > 0
+
+    def test_json_format_round_trips(self, capsys):
+        from repro import obs
+
+        assert main(["stats", *_SMALL, "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        rebuilt = obs.from_json(out)
+        assert "repro_lsm_filter_fp_rate" in rebuilt.snapshot()
+        assert rebuilt.snapshot() == obs.from_json(out).snapshot()
+
+    def test_metrics_out_writes_snapshot(self, tmp_path, capsys):
+        from repro import obs
+
+        path = tmp_path / "metrics.json"
+        assert main(["stats", *_SMALL, "--metrics-out", str(path)]) == 0
+        rebuilt = obs.from_json(path.read_text())
+        assert rebuilt.get("repro_lsm_lookups_total") is not None
+
+    def test_selftest_passes(self, capsys):
+        assert main(["stats", "--selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "0 failure(s)" in out
+
+    def test_rejects_bad_fault_rate(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--fault-rate", "1.5"])
+
+
+class TestTraceCommand:
+    def test_prints_probe_tree(self, capsys):
+        assert main(["trace", *_SMALL, "--fault-rate", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "lsm.get" in out
+        assert "filter.probe" in out
+        assert "device.read" in out
+        assert "retry.attempt" in out
+        assert "probe trees" in out

@@ -19,7 +19,6 @@ from repro.common.faults import (
     RetryPolicy,
     TransientIOError,
 )
-from repro.common.storage import BlockDevice
 
 
 class TestFaultInjector:

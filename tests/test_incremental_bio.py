@@ -8,7 +8,7 @@ import math
 import pytest
 
 from repro.apps.debruijn import WeightedDeBruijn
-from repro.apps.mantis import IncrementalMantis, MantisIndex
+from repro.apps.mantis import IncrementalMantis
 from repro.workloads.dna import extract_kmers, random_genome, sequencing_experiments
 
 K = 11

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.apps.lsm import LSMConfig, LSMTree
 from repro.core.serialize import dumps, loads
