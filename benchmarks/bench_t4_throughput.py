@@ -5,9 +5,21 @@ than) Bloom filters because they touch one cache line instead of k.  In
 pure Python the constants differ from C, but the *relative* ordering of
 per-operation work is meaningful.  pytest-benchmark reports each batch of
 1000 operations.
+
+P1 (batch kernels, docs/performance.md): ``test_t4_batch_vs_scalar``
+compares ``may_contain_many`` / ``insert_many`` against the scalar loop
+per family, prints the speedup table, and writes a JSON throughput
+snapshot (``REPRO_BENCH_SNAPSHOT``, default
+``benchmarks/bench_t4_batch.json``) that ``scripts/perf_gate.py``
+compares against the committed baseline in CI.  ``REPRO_BENCH_SMALL=1``
+shrinks the batch for CI smoke runs.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
 
 import pytest
 
@@ -21,6 +33,145 @@ DYNAMIC_NAMES = [
     "vector-quotient", "morton", "cqf",
 ]
 STATIC_NAMES = ["xor", "ribbon"]
+
+_SMALL = bool(os.environ.get("REPRO_BENCH_SMALL"))
+# Acceptance workload: 1e5 probe keys (ISSUE 3); quotient's scalar walk is
+# two orders slower, so it runs a smaller batch to keep the bench bounded.
+BATCH_QUERIES = 5_000 if _SMALL else 100_000
+BATCH_QUERIES_SLOW = 1_000 if _SMALL else 10_000
+BATCH_ROUNDS = 3
+
+BATCH_PROBE_FAMILIES = [
+    ("bloom", BATCH_QUERIES),
+    ("blocked-bloom", BATCH_QUERIES),
+    ("cuckoo", BATCH_QUERIES),
+    ("quotient", BATCH_QUERIES_SLOW),
+    ("xor", BATCH_QUERIES),
+    ("xor-plus", BATCH_QUERIES),
+    ("ribbon", BATCH_QUERIES),
+]
+BATCH_INSERT_FAMILIES = ["bloom", "blocked-bloom"]
+
+
+def snapshot_path() -> str:
+    return os.environ.get(
+        "REPRO_BENCH_SNAPSHOT",
+        os.path.join(os.path.dirname(__file__), "bench_t4_batch.json"),
+    )
+
+
+def _best_rate(fn, n_ops: int, rounds: int = BATCH_ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return n_ops / best
+
+
+def test_t4_batch_vs_scalar(bench_keys):
+    """P1 — batch kernels vs scalar probes, per family.
+
+    Acceptance (ISSUE 3): Bloom batch probe throughput >= 5x scalar on
+    the 1e5-key workload, and the returned mask must equal the
+    element-wise scalar answers (spot-checked here; exhaustively in
+    tests/test_batch.py).
+    """
+    from _util import print_table
+
+    members, negatives = bench_keys
+    members = members[:N]
+    rows = []
+    families = {}
+    for name, n_queries in BATCH_PROBE_FAMILIES:
+        if name in ("xor", "xor-plus", "ribbon"):
+            filt = make_filter(name, keys=members, epsilon=0.01, seed=11)
+        else:
+            filt = make_filter(name, capacity=N, epsilon=0.01, seed=11)
+            filt.insert_many(members)
+        half = n_queries // 2
+        queries = (members * (half // len(members) + 1))[:half]
+        queries += (negatives * (half // len(negatives) + 1))[:half]
+
+        def scalar():
+            probe = filt.may_contain
+            for key in queries:
+                probe(key)
+
+        def batch():
+            filt.may_contain_many(queries)
+
+        mask = filt.may_contain_many(queries[:512])
+        assert mask.tolist() == [filt.may_contain(k) for k in queries[:512]], name
+
+        scalar_rate = _best_rate(scalar, len(queries))
+        batch_rate = _best_rate(batch, len(queries))
+        speedup = batch_rate / scalar_rate
+        rows.append(
+            (name, len(queries), round(scalar_rate), round(batch_rate),
+             round(speedup, 1))
+        )
+        families[name] = {
+            "op": "probe",
+            "n": len(queries),
+            "scalar_ops_s": round(scalar_rate),
+            "batch_ops_s": round(batch_rate),
+            "speedup": round(speedup, 2),
+        }
+
+    insert_rows = []
+    for name in BATCH_INSERT_FAMILIES:
+        batch_keys_list = members
+
+        def scalar_insert():
+            filt = make_filter(name, capacity=N, epsilon=0.01, seed=11)
+            for key in batch_keys_list:
+                filt.insert(key)
+
+        def batch_insert():
+            filt = make_filter(name, capacity=N, epsilon=0.01, seed=11)
+            filt.insert_many(batch_keys_list)
+
+        scalar_rate = _best_rate(scalar_insert, len(batch_keys_list))
+        batch_rate = _best_rate(batch_insert, len(batch_keys_list))
+        insert_rows.append(
+            (name, len(batch_keys_list), round(scalar_rate),
+             round(batch_rate), round(batch_rate / scalar_rate, 1))
+        )
+        families[f"{name}:insert"] = {
+            "op": "insert",
+            "n": len(batch_keys_list),
+            "scalar_ops_s": round(scalar_rate),
+            "batch_ops_s": round(batch_rate),
+            "speedup": round(batch_rate / scalar_rate, 2),
+        }
+
+    print_table(
+        "P1: batch vs scalar probe throughput",
+        ["filter", "n queries", "scalar probes/s", "batch probes/s", "speedup"],
+        rows,
+        note="may_contain_many vs a may_contain loop on the same mixed "
+             "batch; quotient batches fewer keys (scalar stretch walk)",
+    )
+    print_table(
+        "P1: batch vs scalar insert throughput",
+        ["filter", "n keys", "scalar inserts/s", "batch inserts/s", "speedup"],
+        insert_rows,
+        note="insert_many scatter vs per-key insert (fresh filter per round)",
+    )
+    with open(snapshot_path(), "w") as fh:
+        json.dump(
+            {"workload": {"small": _SMALL, "members": len(members)},
+             "families": families},
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
+
+    bloom_speedup = families["bloom"]["speedup"]
+    assert bloom_speedup >= 5.0, (
+        f"bloom batch kernel only {bloom_speedup:.1f}x scalar (need >= 5x)"
+    )
 
 
 @pytest.mark.parametrize("name", DYNAMIC_NAMES)

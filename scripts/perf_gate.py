@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""CI performance gate for the batch-kernel throughput snapshot.
+
+Compares the snapshot written by ``bench_t4_throughput.py::
+test_t4_batch_vs_scalar`` (``benchmarks/bench_t4_batch.json`` by
+default) against the committed baseline ``benchmarks/BENCH_baseline.json``
+with a relative tolerance.
+
+Two metrics per family:
+
+* ``speedup`` (batch/scalar ratio) — the primary gate.  It is a ratio of
+  two timings on the *same* machine, so it transfers across hardware and
+  noisy shared runners far better than absolute ops/s.
+* ``batch_ops_s`` — reported for context and checked with the same
+  tolerance, but a regression here alone is always warn-only (absolute
+  throughput on a shared runner is not comparable to the baseline host).
+
+Default mode is **warn-only** (exit 0 with warnings printed) because CI
+runs on shared runners; pass ``--strict`` to turn speedup regressions
+into a nonzero exit.  See docs/performance.md for the baseline-refresh
+workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO = os.path.dirname(_HERE)
+DEFAULT_BASELINE = os.path.join(_REPO, "benchmarks", "BENCH_baseline.json")
+DEFAULT_SNAPSHOT = os.path.join(_REPO, "benchmarks", "bench_t4_batch.json")
+
+
+def compare(baseline: dict, snapshot: dict, tolerance: float):
+    """Yield (family, metric, current, floor, ok) rows."""
+    base_families = baseline.get("families", {})
+    snap_families = snapshot.get("families", {})
+    for family in sorted(base_families):
+        base = base_families[family]
+        snap = snap_families.get(family)
+        if snap is None:
+            yield family, "missing", None, None, False
+            continue
+        for metric in ("speedup", "batch_ops_s"):
+            floor = base[metric] * (1.0 - tolerance)
+            current = snap[metric]
+            yield family, metric, current, floor, current >= floor
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--snapshot", default=DEFAULT_SNAPSHOT)
+    parser.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="allowed relative regression before a metric trips "
+             "(default 0.5 = current may fall to 50%% of baseline)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on speedup regressions (default: warn only)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"perf-gate: cannot read baseline {args.baseline}: {exc}")
+        return 1
+    try:
+        with open(args.snapshot) as fh:
+            snapshot = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"perf-gate: cannot read snapshot {args.snapshot}: {exc}")
+        print("perf-gate: run the bench first: PYTHONPATH=src python -m pytest "
+              "benchmarks/bench_t4_throughput.py::test_t4_batch_vs_scalar -s")
+        return 1
+
+    failures = []
+    print(f"perf-gate: tolerance {args.tolerance:.0%}, "
+          f"baseline {os.path.relpath(args.baseline, _REPO)}")
+    print(f"{'family':<22}{'metric':<14}{'current':>12}{'floor':>12}  status")
+    for family, metric, current, floor, ok in compare(
+        baseline, snapshot, args.tolerance
+    ):
+        if metric == "missing":
+            print(f"{family:<22}{metric:<14}{'-':>12}{'-':>12}  MISSING")
+            failures.append((family, metric))
+            continue
+        status = "ok" if ok else "REGRESSION"
+        print(f"{family:<22}{metric:<14}{current:>12.2f}{floor:>12.2f}  {status}")
+        if not ok and metric == "speedup":
+            failures.append((family, metric))
+
+    if failures:
+        names = ", ".join(f"{f}:{m}" for f, m in failures)
+        if args.strict:
+            print(f"perf-gate: FAIL — {names}")
+            return 1
+        print(f"perf-gate: WARN (shared-runner mode, not failing) — {names}")
+    else:
+        print("perf-gate: all families within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,8 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+import numpy as np
+
 from repro.common.storage import BlockDevice
-from repro.core.interfaces import AdaptiveFilter, Key
+from repro.core.interfaces import AdaptiveFilter, Key, KeyBatch, as_key_list
 from repro.obs.metrics import default_registry
 from repro.obs.tracing import trace
 
@@ -101,6 +103,54 @@ class FilteredDictionary:
                     "false positives fed back to an adaptive filter",
                 ).inc()
             return default
+
+    def get_many(self, keys: KeyBatch, default: Any = None) -> list[Any]:
+        """Batched point lookup: one filter-kernel probe for the whole
+        batch, then a device read per surviving (maybe-present) key.
+
+        Outcome counters, stats, and adaptive feedback match calling
+        :meth:`get` per key, with one visible difference: all probes
+        happen *before* any adaptation from this batch lands, so a false
+        positive repeated within a single batch is reported once per
+        occurrence rather than being absorbed by the first adaptation.
+        """
+        key_list = as_key_list(keys)
+        if not key_list:
+            return []
+        queries = default_registry().counter(
+            "repro_dict_queries_total",
+            "filtered-dictionary lookups, by outcome",
+            labels=("outcome",),
+        )
+        self.stats.queries += len(key_list)
+        probe = getattr(self._filter, "may_contain_many", None)
+        if probe is not None:
+            maybes = np.asarray(probe(key_list), dtype=bool).tolist()
+        else:
+            maybes = [self._filter.may_contain(k) for k in key_list]
+        results: list[Any] = [default] * len(key_list)
+        negatives = maybes.count(False)
+        if negatives:
+            queries.labels(outcome="negative").inc(negatives)
+        for i, (key, maybe) in enumerate(zip(key_list, maybes)):
+            if not maybe:
+                continue
+            self.stats.disk_reads += 1
+            if self._device.exists(("kv", key)):
+                self.stats.positive_hits += 1
+                queries.labels(outcome="hit").inc()
+                results[i] = self._device.read(("kv", key))
+                continue
+            self.stats.false_positives += 1
+            queries.labels(outcome="false_positive").inc()
+            if self._adaptive:
+                self._filter.report_false_positive(key)
+                self.stats.adaptations_fed_back += 1
+                default_registry().counter(
+                    "repro_dict_adaptations_total",
+                    "false positives fed back to an adaptive filter",
+                ).inc()
+        return results
 
     def __contains__(self, key: Key) -> bool:
         sentinel = object()

@@ -61,6 +61,15 @@ class BitVector:
         bits = (self.words[idx >> 6] >> (idx & 63).astype(np.uint64)) & np.uint64(1)
         return bool(bits.all())
 
+    def test_many(self, indexes: np.ndarray | list[int]) -> np.ndarray:
+        """Per-index bit values as a bool array (vectorised gather).
+
+        *indexes* may be any integer shape; the result has the same shape.
+        """
+        idx = np.asarray(indexes, dtype=np.int64)
+        bits = (self.words[idx >> 6] >> (idx & 63).astype(np.uint64)) & np.uint64(1)
+        return bits.astype(bool)
+
     def count(self) -> int:
         """Number of set bits."""
         return int(np.unpackbits(self.words.view(np.uint8)).sum())
@@ -79,6 +88,21 @@ class BitVector:
 
 
 MASK64 = (1 << 64) - 1
+
+
+def popcount64(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a ``uint64`` array.
+
+    Uses ``np.bitwise_count`` where available (numpy >= 2.0) and a
+    byte-unpack fallback elsewhere, so callers stay portable to the
+    ``numpy>=1.24`` floor in pyproject.toml.
+    """
+    arr = np.ascontiguousarray(words, dtype=np.uint64)
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(arr).astype(np.int64)
+    as_bytes = arr.reshape(-1).view(np.uint8).reshape(-1, 8)
+    counts = np.unpackbits(as_bytes, axis=1).sum(axis=1).astype(np.int64)
+    return counts.reshape(arr.shape)
 
 
 class PackedArray:
@@ -134,6 +158,28 @@ class PackedArray:
 
     def __setitem__(self, i: int, value: int) -> None:
         self.set(i, value)
+
+    def get_many(self, indexes: np.ndarray | list[int]) -> np.ndarray:
+        """Vectorised :meth:`get`: one ``uint64`` field value per index.
+
+        Mirrors the scalar word/spill logic on arrays: the low part comes
+        from the field's first word, and fields straddling a word boundary
+        OR in the next word's low bits.
+        """
+        idx = np.asarray(indexes, dtype=np.int64)
+        bit = idx * self.width
+        word, offset = bit >> 6, (bit & 63).astype(np.uint64)
+        value = self.words[word] >> offset
+        spill = offset.astype(np.int64) + self.width - 64
+        if self.width > 1:  # width-1 fields can never straddle a word
+            straddles = spill > 0
+            if straddles.any():
+                # Shift = width - spill = 64 - offset; offset > 0 wherever
+                # a field straddles, so the &63 never truncates a live shift.
+                high_shift = (np.uint64(64) - offset) & np.uint64(63)
+                next_word = self.words[np.minimum(word + 1, len(self.words) - 1)]
+                value = np.where(straddles, value | (next_word << high_shift), value)
+        return value & np.uint64(self._mask)
 
     @property
     def size_in_bits(self) -> int:

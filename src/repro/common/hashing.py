@@ -7,9 +7,20 @@ every experiment in ``benchmarks/`` reproducible.
 Keys may be ``int``, ``str`` or ``bytes``.  Integers are mixed directly
 (cheap, and the common case for synthetic workloads); strings and bytes are
 folded with a 64-bit FNV-1a pass before mixing.
+
+Batch kernels
+-------------
+Every scalar function here has a ``*_many`` twin operating on numpy
+``uint64`` arrays, bit-for-bit identical to mapping the scalar over the
+batch (the property tests in ``tests/test_batch.py`` enforce this).  The
+batch entry point is :func:`as_key_array`, which folds a heterogeneous
+key batch into the pre-mix ``uint64`` representation once, so the three
+or more hash derivations a filter needs per probe all reuse it.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 MASK64 = (1 << 64) - 1
 
@@ -78,6 +89,90 @@ def fingerprint(key: int | str | bytes, bits: int, seed: int = 0) -> int:
     if fp == 0:
         fp = 1
     return fp
+
+
+# -- batch (vectorised) kernels -------------------------------------------------
+#
+# numpy uint64 arithmetic wraps modulo 2^64, which is exactly the `& MASK64`
+# discipline of the scalar code above, so each kernel is the scalar formula
+# transcribed onto arrays.
+
+_NP_GAMMA = np.uint64(_SPLITMIX_GAMMA)
+_NP_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_NP_MIX2 = np.uint64(0x94D049BB133111EB)
+_S30, _S27, _S31, _S32 = (np.uint64(s) for s in (30, 27, 31, 32))
+_LOW32 = np.uint64(0xFFFFFFFF)
+
+
+def splitmix64_many(x: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`splitmix64` over a ``uint64`` array."""
+    x = np.asarray(x, dtype=np.uint64)
+    x = x + _NP_GAMMA
+    x = (x ^ (x >> _S30)) * _NP_MIX1
+    x = (x ^ (x >> _S27)) * _NP_MIX2
+    return x ^ (x >> _S31)
+
+
+def as_key_array(keys) -> np.ndarray:
+    """Fold a key batch into the pre-mix ``uint64`` representation.
+
+    Integer keys become ``key & MASK64``; str/bytes keys are FNV-1a folded
+    exactly as :func:`hash64` does, so ``splitmix64_many(arr ^
+    splitmix64(seed))`` over the result equals ``hash64(key, seed)``
+    element-wise.  Accepts lists, tuples, and numpy integer arrays.
+    """
+    if isinstance(keys, np.ndarray) and keys.dtype.kind in "iu":
+        return keys.astype(np.uint64, copy=False)
+    folded = [
+        _fold_bytes(k.encode("utf-8")) if isinstance(k, str)
+        else _fold_bytes(k) if isinstance(k, (bytes, bytearray))
+        else (int(k) & MASK64) if isinstance(k, (int, np.integer))
+        else _reject_key(k)
+        for k in keys
+    ]
+    return np.asarray(folded, dtype=np.uint64)
+
+
+def _reject_key(key) -> int:
+    raise TypeError(f"unhashable filter key type: {type(key).__name__}")
+
+
+def hash64_many(keys, seed: int = 0) -> np.ndarray:
+    """Vectorised :func:`hash64`: one uniform 64-bit hash per key."""
+    arr = as_key_array(keys)
+    return splitmix64_many(arr ^ np.uint64(splitmix64(seed & MASK64)))
+
+
+def hash_pair_many(keys, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`hash_pair`."""
+    h = hash64_many(keys, seed)
+    return h, splitmix64_many(h)
+
+
+def mulhi64(h: np.ndarray, n: int) -> np.ndarray:
+    """High 64 bits of ``h * n`` for ``n < 2**32`` via 32-bit limbs.
+
+    numpy has no 128-bit product, so split ``h = a·2^32 + b``:
+    ``(h·n) >> 64 == (a·n + ((b·n) >> 32)) >> 32``, every term < 2^64.
+    """
+    if n >= 1 << 32:
+        raise ValueError("mulhi64 supports ranges below 2**32")
+    nn = np.uint64(n)
+    a, b = h >> _S32, h & _LOW32
+    return (a * nn + ((b * nn) >> _S32)) >> _S32
+
+
+def hash_to_range_many(keys, n: int, seed: int = 0) -> np.ndarray:
+    """Vectorised :func:`hash_to_range`: hash each key into ``[0, n)``."""
+    return mulhi64(hash64_many(keys, seed), n)
+
+
+def fingerprint_many(keys, bits: int, seed: int = 0) -> np.ndarray:
+    """Vectorised :func:`fingerprint`: nonzero *bits*-wide fingerprints."""
+    if bits <= 0:
+        raise ValueError("fingerprint width must be positive")
+    fp = hash64_many(keys, seed ^ 0xF1A9) & np.uint64((1 << bits) - 1)
+    return np.where(fp == 0, np.uint64(1), fp)
 
 
 def derived_seeds(seed: int, count: int) -> list[int]:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.common.bitvector import BitVector
+from repro.common.bitvector import BitVector, popcount64
 
 
 class RankSelect:
@@ -43,6 +43,20 @@ class RankSelect:
             mask = (1 << offset) - 1
             partial = (int(self._bits.words[word]) & mask).bit_count()
         return int(self._prefix[word]) + partial
+
+    def rank_many(self, positions: np.ndarray | list[int]) -> np.ndarray:
+        """Vectorised :meth:`rank` over an array of positions."""
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size and (pos.min() < 0 or pos.max() > self._bits.n_bits):
+            raise IndexError("rank position out of range")
+        word, offset = pos >> 6, (pos & 63).astype(np.uint64)
+        if not len(self._bits.words):
+            return np.zeros_like(pos)
+        # Guard the last partial-word gather for pos == n_bits exactly.
+        safe_word = np.minimum(word, len(self._bits.words) - 1)
+        mask = (np.uint64(1) << offset) - np.uint64(1)
+        partial = popcount64(self._bits.words[safe_word] & mask)
+        return self._prefix[word] + np.where(offset > 0, partial, 0)
 
     def select(self, k: int) -> int:
         """Position of the k-th (0-indexed) set bit."""

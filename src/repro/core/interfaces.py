@@ -11,15 +11,43 @@ Key conventions
 * ``may_contain`` never returns a false negative for an inserted key.
 * ``size_in_bits`` is the *logical* encoded size (see DESIGN.md).
 * All filters take a ``seed`` so experiments are reproducible.
+
+Batch API (docs/performance.md)
+-------------------------------
+``may_contain_many`` / ``insert_many`` operate on a whole key batch per
+call.  The base-class defaults loop the scalar operations, so every
+filter family is batch-correct by construction; the workhorse families
+(Bloom, cuckoo, quotient, XOR, ribbon) override them with vectorised
+numpy kernels.  The contract: ``may_contain_many(keys)`` returns a bool
+ndarray of ``len(keys)`` where element *i* equals ``may_contain(keys[i])``
+exactly — same hash path, same result, order preserved — and
+``insert_many`` is equivalent to inserting each key in order.
 """
 
 from __future__ import annotations
 
 import abc
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from typing import Any
 
+import numpy as np
+
 Key = int | str | bytes
+
+KeyBatch = "Sequence[Key] | np.ndarray"
+
+
+def as_key_list(keys) -> list:
+    """Normalise a key batch to a list of plain Python keys.
+
+    numpy integer arrays become Python ints (``tolist``), so scalar
+    fallbacks and ground-truth set lookups see hashable built-in types.
+    """
+    if isinstance(keys, np.ndarray):
+        return keys.tolist()
+    if isinstance(keys, list):
+        return keys
+    return list(keys)
 
 
 class Filter(abc.ABC):
@@ -31,6 +59,20 @@ class Filter(abc.ABC):
 
     def __contains__(self, key: Key) -> bool:
         return self.may_contain(key)
+
+    def may_contain_many(self, keys: KeyBatch) -> np.ndarray:
+        """Batch membership: element *i* is ``may_contain(keys[i])``.
+
+        This default loops the scalar probe, so it is correct for every
+        subclass; the hot families override it with vectorised kernels.
+        Returns a bool ndarray (empty batches return an empty array).
+        """
+        key_list = as_key_list(keys)
+        return np.fromiter(
+            (self.may_contain(key) for key in key_list),
+            dtype=bool,
+            count=len(key_list),
+        )
 
     @property
     @abc.abstractmethod
@@ -73,6 +115,15 @@ class DynamicFilter(Filter):
     @abc.abstractmethod
     def insert(self, key: Key) -> None:
         """Add *key*.  Raises FilterFullError if it cannot be placed."""
+
+    def insert_many(self, keys: KeyBatch) -> None:
+        """Insert a key batch, equivalent to inserting each key in order.
+
+        On ``FilterFullError`` the keys inserted so far stay inserted
+        (same partial-progress semantics as the scalar loop it mirrors).
+        """
+        for key in as_key_list(keys):
+            self.insert(key)
 
     def delete(self, key: Key) -> None:
         """Remove one copy of *key* (must have been inserted)."""

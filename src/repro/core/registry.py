@@ -116,7 +116,9 @@ def make_filter(
     if features.kind == "static":
         if keys is None:
             raise ValueError(f"{name} is static: pass keys=...")
-        key_list = list(keys)
+        from repro.core.interfaces import as_key_list
+
+        key_list = as_key_list(keys)
     else:
         if capacity is None:
             raise ValueError(f"{name} is {features.kind}: pass capacity=...")

@@ -9,10 +9,12 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable
 
+import numpy as np
+
 from repro.common.bitvector import BitVector
-from repro.common.hashing import hash_pair
+from repro.common.hashing import MASK64, hash_pair, hash_pair_many
 from repro.core.analysis import bloom_optimal_hashes
-from repro.core.interfaces import DynamicFilter, Key
+from repro.core.interfaces import DynamicFilter, Key, KeyBatch
 
 
 class BloomFilter(DynamicFilter):
@@ -56,18 +58,45 @@ class BloomFilter(DynamicFilter):
         self._n = 0
 
     def _positions(self, key: Key) -> list[int]:
-        # Kirsch–Mitzenmacher double hashing: g_i = h1 + i·h2 (mod m).
+        # Kirsch–Mitzenmacher double hashing: g_i = h1 + i·h2 (mod 2^64,
+        # then mod m) — the 64-bit wrap keeps this identical to the
+        # vectorised kernel below, as in the C implementations.
         h1, h2 = hash_pair(key, self.seed)
         h2 |= 1  # odd step avoids degenerate cycles
-        return [(h1 + i * h2) % self._m for i in range(self._k)]
+        return [((h1 + i * h2) & MASK64) % self._m for i in range(self._k)]
+
+    def _positions_many(self, keys: KeyBatch) -> np.ndarray:
+        """(n_keys, k) bit positions — the batched double-hash kernel."""
+        h1, h2 = hash_pair_many(keys, self.seed)
+        h2 = h2 | np.uint64(1)
+        i = np.arange(self._k, dtype=np.uint64)
+        return (h1[:, None] + i[None, :] * h2[:, None]) % np.uint64(self._m)
 
     def insert(self, key: Key) -> None:
         for pos in self._positions(key):
             self._bits.set(pos)
         self._n += 1
 
+    def insert_many(self, keys: KeyBatch) -> None:
+        """Set all k bits of every key with one scatter."""
+        n = len(keys)
+        if not n:
+            return
+        self._bits.set_many(self._positions_many(keys).ravel())
+        self._n += n
+
     def may_contain(self, key: Key) -> bool:
         return all(self._bits.get(pos) for pos in self._positions(key))
+
+    def may_contain_many(self, keys: KeyBatch) -> np.ndarray:
+        """Gather all k probe bits per key and AND across the hash axis."""
+        if not len(keys):
+            return np.zeros(0, dtype=bool)
+        pos = self._positions_many(keys)
+        words = self._bits.words
+        bits = (words[(pos >> np.uint64(6)).astype(np.int64)]
+                >> (pos & np.uint64(63))) & np.uint64(1)
+        return bits.all(axis=1)
 
     def __len__(self) -> int:
         return self._n
@@ -92,8 +121,7 @@ class BloomFilter(DynamicFilter):
         """Build a filter sized exactly for *keys*."""
         key_list = list(keys)
         bloom = cls(max(1, len(key_list)), epsilon, seed=seed)
-        for key in key_list:
-            bloom.insert(key)
+        bloom.insert_many(key_list)
         return bloom
 
 
@@ -133,13 +161,40 @@ class BlockedBloomFilter(DynamicFilter):
             block + ((offset + i * step) % self.BLOCK_BITS) for i in range(self._k)
         ]
 
+    def _positions_many(self, keys: KeyBatch) -> np.ndarray:
+        """(n_keys, k) positions, all inside each key's single block."""
+        h1, h2 = hash_pair_many(keys, self.seed)
+        block_bits = np.uint64(self.BLOCK_BITS)
+        block = (h1 % np.uint64(self._n_blocks)) * block_bits
+        step = (h2 | np.uint64(1)) % block_bits  # odd mod even is nonzero
+        offset = h2 >> np.uint64(32)
+        i = np.arange(self._k, dtype=np.uint64)
+        in_block = (offset[:, None] + i[None, :] * step[:, None]) % block_bits
+        return block[:, None] + in_block
+
     def insert(self, key: Key) -> None:
         for pos in self._positions(key):
             self._bits.set(pos)
         self._n += 1
 
+    def insert_many(self, keys: KeyBatch) -> None:
+        n = len(keys)
+        if not n:
+            return
+        self._bits.set_many(self._positions_many(keys).ravel())
+        self._n += n
+
     def may_contain(self, key: Key) -> bool:
         return all(self._bits.get(pos) for pos in self._positions(key))
+
+    def may_contain_many(self, keys: KeyBatch) -> np.ndarray:
+        if not len(keys):
+            return np.zeros(0, dtype=bool)
+        pos = self._positions_many(keys)
+        words = self._bits.words
+        bits = (words[(pos >> np.uint64(6)).astype(np.int64)]
+                >> (pos & np.uint64(63))) & np.uint64(1)
+        return bits.all(axis=1)
 
     def __len__(self) -> int:
         return self._n

@@ -18,9 +18,15 @@ import math
 import numpy as np
 
 from repro.common.hashing import fingerprint as make_fingerprint
-from repro.common.hashing import hash64, splitmix64
+from repro.common.hashing import (
+    fingerprint_many,
+    hash64,
+    hash64_many,
+    splitmix64,
+    splitmix64_many,
+)
 from repro.core.errors import DeletionError, FilterFullError
-from repro.core.interfaces import DynamicFilter, Key
+from repro.core.interfaces import DynamicFilter, Key, KeyBatch
 
 DEFAULT_BUCKET_SIZE = 4
 MAX_KICKS = 500
@@ -143,6 +149,21 @@ class CuckooFilter(DynamicFilter):
         if self._stash is not None and fp == self._stash:
             return True
         return self._bucket_contains(i1, fp) or self._bucket_contains(i2, fp)
+
+    def may_contain_many(self, keys: KeyBatch) -> np.ndarray:
+        """Batched probe: both candidate buckets of every key are compared
+        against the fingerprints in two table gathers."""
+        if not len(keys):
+            return np.zeros(0, dtype=bool)
+        mask = np.uint64(self.n_buckets - 1)
+        fp = fingerprint_many(keys, self.fingerprint_bits, self.seed)
+        i1 = hash64_many(keys, self.seed ^ 0x1D) & mask
+        i2 = (i1 ^ splitmix64_many(fp)) & mask
+        hit = (self._table[i1.astype(np.int64)] == fp[:, None]).any(axis=1)
+        hit |= (self._table[i2.astype(np.int64)] == fp[:, None]).any(axis=1)
+        if self._stash is not None:
+            hit |= fp == np.uint64(self._stash)
+        return hit
 
     def delete(self, key: Key) -> None:
         fp, i1, i2 = self._candidates(key)

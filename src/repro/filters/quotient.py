@@ -29,10 +29,12 @@ import math
 from collections import deque
 from collections.abc import Iterator
 
+import numpy as np
+
 from repro.common.bitvector import BitVector, PackedArray
-from repro.common.hashing import hash64
+from repro.common.hashing import hash64, hash64_many
 from repro.core.errors import DeletionError, FilterFullError
-from repro.core.interfaces import DynamicFilter, Key
+from repro.core.interfaces import DynamicFilter, Key, KeyBatch
 
 DEFAULT_MAX_LOAD = 0.9
 
@@ -143,6 +145,22 @@ class QuotientFilter(DynamicFilter):
 
     def may_contain(self, key: Key) -> bool:
         return self._contains_fingerprint(self._fingerprint(key))
+
+    def may_contain_many(self, keys: KeyBatch) -> np.ndarray:
+        """Batched probe: fingerprints and the is_occupied prefilter are
+        vectorised; only keys whose canonical slot is occupied (the
+        possible positives) fall back to the sequential stretch walk."""
+        if not len(keys):
+            return np.zeros(0, dtype=bool)
+        fps = hash64_many(keys, self.seed) & np.uint64(
+            (1 << self.fingerprint_bits) - 1
+        )
+        quotients = fps >> np.uint64(self.remainder_bits)
+        occupied = self._occupied.test_many(quotients.astype(np.int64))
+        out = np.zeros(len(fps), dtype=bool)
+        for i in np.nonzero(occupied)[0]:
+            out[i] = self._contains_fingerprint(int(fps[i]))
+        return out
 
     def _contains_fingerprint(self, fp: int) -> bool:
         quotient, remainder = self._split(fp)

@@ -16,10 +16,21 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable
 
+import numpy as np
+
 from repro.common.bitvector import PackedArray
-from repro.common.hashing import derived_seeds, fingerprint, hash64, hash_to_range
+from repro.common.hashing import (
+    as_key_array,
+    derived_seeds,
+    fingerprint,
+    fingerprint_many,
+    hash64,
+    hash64_many,
+    hash_to_range,
+    hash_to_range_many,
+)
 from repro.core.errors import ImmutableFilterError
-from repro.core.interfaces import Key, StaticFilter
+from repro.core.interfaces import Key, KeyBatch, StaticFilter
 
 RIBBON_WIDTH = 64
 _OVERHEAD = 1.05
@@ -59,12 +70,24 @@ class RibbonFilter(StaticFilter):
         fp = fingerprint(key, self.fingerprint_bits, self.seed ^ 0xA3)
         return start, coeff, fp
 
+    def _equations_many(self, keys: KeyBatch):
+        """Batched :meth:`_equation`: (starts, coeffs, fingerprints) arrays."""
+        arr = as_key_array(keys)
+        starts = hash_to_range_many(arr, self._m - RIBBON_WIDTH + 1, self.seed ^ 0xA1)
+        coeffs = hash64_many(arr, self.seed ^ 0xA2) | np.uint64(1)
+        fps = fingerprint_many(arr, self.fingerprint_bits, self.seed ^ 0xA3)
+        return starts, coeffs, fps
+
     def _try_build(self, key_list: list[Key]) -> PackedArray | None:
         m = self._m
         coeff_rows = [0] * m
         result_rows = [0] * m
-        for key in key_list:
-            start, coeff, value = self._equation(key)
+        # Build fast path: hash every equation in one batch; elimination
+        # itself is inherently sequential (each row depends on the last).
+        starts, coeffs, fps = self._equations_many(key_list)
+        for start, coeff, value in zip(
+            starts.tolist(), coeffs.tolist(), fps.tolist()
+        ):
             while coeff:
                 if coeff_rows[start] == 0:
                     coeff_rows[start] = coeff
@@ -112,6 +135,28 @@ class RibbonFilter(StaticFilter):
             coeff >>= 1
             offset += 1
         return acc == fp
+
+    def may_contain_many(self, keys: KeyBatch) -> np.ndarray:
+        """Batched band dot product over GF(2).
+
+        Iterates the w=64 coefficient bit positions once (not once per
+        key): at offset *j*, the keys whose coefficient bit *j* is set
+        gather ``solution[start + j]`` and XOR it into their accumulator.
+        ``start <= m - w``, so every gather stays in bounds.
+        """
+        if not len(keys):
+            return np.zeros(0, dtype=bool)
+        starts, coeffs, fps = self._equations_many(keys)
+        acc = np.zeros(len(fps), dtype=np.uint64)
+        one = np.uint64(1)
+        for j in range(RIBBON_WIDTH):
+            live = (coeffs >> np.uint64(j)) & one != 0
+            if not live.any():
+                continue
+            acc[live] ^= self._solution.get_many(
+                (starts[live] + np.uint64(j)).astype(np.int64)
+            )
+        return acc == fps
 
     def insert(self, key: Key) -> None:
         raise ImmutableFilterError("ribbon filters are static (build-once)")

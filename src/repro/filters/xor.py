@@ -15,11 +15,20 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable
 
+import numpy as np
+
 from repro.common.bitvector import BitVector, PackedArray
-from repro.common.hashing import derived_seeds, fingerprint, hash_to_range
+from repro.common.hashing import (
+    as_key_array,
+    derived_seeds,
+    fingerprint,
+    fingerprint_many,
+    hash_to_range,
+    hash_to_range_many,
+)
 from repro.common.rankselect import RankSelect
 from repro.core.errors import ImmutableFilterError
-from repro.core.interfaces import Key, StaticFilter
+from repro.core.interfaces import Key, KeyBatch, StaticFilter
 
 _SIZE_FACTOR = 1.23
 _MAX_CONSTRUCTION_ATTEMPTS = 64
@@ -94,9 +103,13 @@ class XorFilter(StaticFilter):
         self._n_slots = self._segment * 3
         prefer_from = 2 * self._segment if _prefer_first_segments else 0
 
+        # Build fast path: all three slot hashes (and later the
+        # fingerprints) for the whole key set come from the batch kernels,
+        # leaving only peeling and back-assignment in Python.
+        key_arr = as_key_array(key_list)
         for attempt in range(_MAX_CONSTRUCTION_ATTEMPTS):
             self.seed = derived_seeds(seed, attempt + 1)[-1]
-            all_slots = [self._slots(key) for key in key_list]
+            all_slots = self._slots_many(key_arr)
             peel = _peel(all_slots, self._n_slots, prefer_from)
             if peel is not None:
                 break
@@ -104,11 +117,13 @@ class XorFilter(StaticFilter):
             raise RuntimeError("XOR filter construction failed (duplicate keys?)")
 
         self._table = PackedArray(self._n_slots, fingerprint_bits)
+        fingerprints = fingerprint_many(
+            key_arr, fingerprint_bits, self.seed ^ 0xF0
+        ).tolist() if self._n else []
         # Assign in reverse peel order: each key's owned slot is free to take
         # whatever value makes the three-way XOR equal its fingerprint.
         for key_index, owned in reversed(peel.order):
-            key = key_list[key_index]
-            value = self._fingerprint(key)
+            value = fingerprints[key_index]
             for slot in all_slots[key_index]:
                 if slot != owned:
                     value ^= self._table.get(slot)
@@ -127,6 +142,25 @@ class XorFilter(StaticFilter):
             2 * s + hash_to_range(key, s, self.seed ^ 3),
         )
 
+    def _slots_many(self, keys: KeyBatch) -> list[tuple[int, int, int]]:
+        """Batched :meth:`_slots` for the whole key set."""
+        arr = as_key_array(keys)
+        s = self._segment
+        h0 = hash_to_range_many(arr, s, self.seed ^ 1)
+        h1 = s + hash_to_range_many(arr, s, self.seed ^ 2)
+        h2 = 2 * s + hash_to_range_many(arr, s, self.seed ^ 3)
+        return list(zip(h0.tolist(), h1.tolist(), h2.tolist()))
+
+    def _probe_arrays(self, keys: KeyBatch):
+        """(h0, h1, h2, fingerprint) arrays for a probe batch."""
+        arr = as_key_array(keys)
+        s = self._segment
+        h0 = hash_to_range_many(arr, s, self.seed ^ 1)
+        h1 = s + hash_to_range_many(arr, s, self.seed ^ 2)
+        h2 = 2 * s + hash_to_range_many(arr, s, self.seed ^ 3)
+        fp = fingerprint_many(arr, self.fingerprint_bits, self.seed ^ 0xF0)
+        return h0, h1, h2, fp
+
     # -- API ------------------------------------------------------------------
 
     def may_contain(self, key: Key) -> bool:
@@ -135,6 +169,18 @@ class XorFilter(StaticFilter):
             self._table.get(h0) ^ self._table.get(h1) ^ self._table.get(h2)
         )
         return value == self._fingerprint(key)
+
+    def may_contain_many(self, keys: KeyBatch) -> np.ndarray:
+        """Three table gathers + one compare for the whole batch."""
+        if not len(keys):
+            return np.zeros(0, dtype=bool)
+        h0, h1, h2, fp = self._probe_arrays(keys)
+        value = (
+            self._table.get_many(h0)
+            ^ self._table.get_many(h1)
+            ^ self._table.get_many(h2)
+        )
+        return value == fp
 
     def insert(self, key: Key) -> None:
         raise ImmutableFilterError("XOR filters are static (build-once)")
@@ -192,6 +238,16 @@ class XorPlusFilter(StaticFilter):
             return 0
         return self._packed_third.get(self._rank.rank(offset))
 
+    def _third_cells_many(self, offsets: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_third_cell`: presence test, rank, gather."""
+        present = self._nonzero.test_many(offsets)
+        ranks = self._rank.rank_many(offsets)
+        # Ranks are only meaningful where the presence bit is set; clamp the
+        # rest so the gather stays in bounds, then mask them to zero.
+        safe = np.minimum(ranks, self._packed_third.n_fields - 1)
+        values = self._packed_third.get_many(safe)
+        return np.where(present, values, np.uint64(0))
+
     def may_contain(self, key: Key) -> bool:
         inner = self._inner
         h0, h1, h2 = inner._slots(key)
@@ -201,6 +257,20 @@ class XorPlusFilter(StaticFilter):
             ^ self._third_cell(h2 - 2 * inner._segment)
         )
         return value == inner._fingerprint(key)
+
+    def may_contain_many(self, keys: KeyBatch) -> np.ndarray:
+        """Two table gathers + one rank-directed gather per batch."""
+        if not len(keys):
+            return np.zeros(0, dtype=bool)
+        inner = self._inner
+        h0, h1, h2, fp = inner._probe_arrays(keys)
+        offsets = (h2 - np.uint64(2 * inner._segment)).astype(np.int64)
+        value = (
+            inner._table.get_many(h0)
+            ^ inner._table.get_many(h1)
+            ^ self._third_cells_many(offsets)
+        )
+        return value == fp
 
     def insert(self, key: Key) -> None:
         raise ImmutableFilterError("XOR+ filters are static (build-once)")

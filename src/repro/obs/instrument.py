@@ -26,7 +26,9 @@ from __future__ import annotations
 import time
 from typing import Callable, Container
 
-from repro.core.interfaces import Key
+import numpy as np
+
+from repro.core.interfaces import Key, KeyBatch, as_key_list
 from repro.obs.metrics import MetricsRegistry, default_registry
 
 
@@ -101,11 +103,54 @@ class InstrumentedFilter:
     def __contains__(self, key: Key) -> bool:
         return self.may_contain(key)
 
+    def may_contain_many(self, keys: KeyBatch) -> np.ndarray:
+        """Batched probe: one inner kernel call, counters bumped by batch
+        totals so per-op metrics stay additive with the scalar path."""
+        inner_many = getattr(self.inner, "may_contain_many", None)
+        if inner_many is not None:
+            results = np.asarray(inner_many(keys), dtype=bool)
+        else:
+            key_list = as_key_list(keys)
+            results = np.fromiter(
+                (self.inner.may_contain(k) for k in key_list),
+                dtype=bool,
+                count=len(key_list),
+            )
+        positives = int(results.sum())
+        self._positive.inc(positives)
+        self._negative.inc(len(results) - positives)
+        if self._truth is not None and positives:
+            key_list = as_key_list(keys)
+            false_pos = sum(
+                1
+                for key, hit in zip(key_list, results.tolist())
+                if hit and not self._truth(key)
+            )
+            if false_pos:
+                self._false_pos.inc(false_pos)
+        return results
+
     def insert(self, key: Key) -> None:
         start = time.perf_counter()
         self.inner.insert(key)
         self._insert_seconds.observe(time.perf_counter() - start)
         self._inserts.inc()
+
+    def insert_many(self, keys: KeyBatch) -> None:
+        """Batched insert: counts every key; the latency histogram records
+        the batch's mean per-key latency (one observation per batch)."""
+        n = len(keys)
+        if not n:
+            return
+        inner_many = getattr(self.inner, "insert_many", None)
+        start = time.perf_counter()
+        if inner_many is not None:
+            inner_many(keys)
+        else:
+            for key in as_key_list(keys):
+                self.inner.insert(key)
+        self._insert_seconds.observe((time.perf_counter() - start) / n)
+        self._inserts.inc(n)
 
     def delete(self, key: Key) -> None:
         self.inner.delete(key)

@@ -1,0 +1,262 @@
+"""Batch-API contract tests (docs/performance.md) over the registry.
+
+The contract: for every filter family, ``may_contain_many(keys)`` equals
+element-wise ``may_contain``, ``insert_many`` is equivalent to inserting
+in order (so no false negatives afterwards), and the base-class
+scalar-loop defaults satisfy the same contract as the vectorised
+overrides.  Checked with hypothesis across mixed int/str/bytes batches,
+plus numpy-array inputs and the instrumentation wrapper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interfaces import DynamicFilter, as_key_list
+from repro.core.registry import FEATURE_MATRIX, make_filter
+from repro.obs import InstrumentedFilter, MetricsRegistry
+
+
+def _factory_constructible(f) -> bool:
+    return f.inserts and not f.values and not f.ranges
+
+
+DYNAMIC_NAMES = sorted(
+    name
+    for name, f in FEATURE_MATRIX.items()
+    if _factory_constructible(f) and f.kind in ("dynamic", "semi-dynamic")
+)
+STATIC_NAMES = ["xor", "xor-plus", "ribbon"]
+
+def _hash_identity(key):
+    # '' and b'' (and any str/bytes pair with equal utf-8 encoding) fold to
+    # the same pre-mix hash, so static builds see them as duplicate keys.
+    return key.encode("utf-8") if isinstance(key, str) else key
+
+
+keys_strategy = st.lists(
+    st.one_of(
+        st.integers(min_value=0, max_value=2**48),
+        st.text(min_size=0, max_size=12),
+        st.binary(max_size=8),
+    ),
+    max_size=50,
+    unique_by=_hash_identity,
+)
+
+
+def _assert_batch_matches_scalar(filt, probe_keys):
+    got = filt.may_contain_many(probe_keys)
+    assert isinstance(got, np.ndarray) and got.dtype == bool
+    assert got.shape == (len(probe_keys),)
+    assert got.tolist() == [filt.may_contain(k) for k in probe_keys]
+
+
+@pytest.mark.parametrize("name", DYNAMIC_NAMES)
+class TestDynamicBatchContract:
+    @given(keys=keys_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_batch_equals_scalar_and_no_false_negatives(self, name, keys):
+        filt = make_filter(name, capacity=256, epsilon=0.05, seed=7)
+        inserted = keys[: len(keys) // 2 + 1]
+        filt.insert_many(inserted)
+        _assert_batch_matches_scalar(filt, keys)
+        if inserted:
+            assert filt.may_contain_many(inserted).all()
+
+    @given(keys=keys_strategy)
+    @settings(max_examples=5, deadline=None)
+    def test_insert_many_equals_insert_loop(self, name, keys):
+        batched = make_filter(name, capacity=256, epsilon=0.05, seed=7)
+        batched.insert_many(keys)
+        looped = make_filter(name, capacity=256, epsilon=0.05, seed=7)
+        for key in keys:
+            looped.insert(key)
+        assert len(batched) == len(looped)
+        probes = keys + [f"probe-{i}" for i in range(8)]
+        assert (
+            batched.may_contain_many(probes).tolist()
+            == looped.may_contain_many(probes).tolist()
+        )
+
+
+@pytest.mark.parametrize("name", STATIC_NAMES)
+class TestStaticBatchContract:
+    @given(keys=keys_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_batch_equals_scalar(self, name, keys):
+        filt = make_filter(name, keys=keys, epsilon=0.05, seed=7)
+        probes = keys + [f"absent-{i}" for i in range(16)] + [2**50 + 1]
+        _assert_batch_matches_scalar(filt, probes)
+        if keys:
+            assert filt.may_contain_many(keys).all()
+
+
+class _ScalarOnlyFilter(DynamicFilter):
+    """Minimal filter exercising the base-class scalar-loop defaults."""
+
+    def __init__(self):
+        self._keys = set()
+
+    def insert(self, key):
+        self._keys.add(key)
+
+    def may_contain(self, key):
+        return key in self._keys
+
+    def __len__(self):
+        return len(self._keys)
+
+    @property
+    def size_in_bits(self):
+        return 0
+
+
+class TestDefaultFallback:
+    def test_scalar_loop_defaults(self):
+        filt = _ScalarOnlyFilter()
+        filt.insert_many([1, 2, "three", b"four"])
+        assert len(filt) == 4
+        got = filt.may_contain_many([1, 2, "three", b"four", 5, "six"])
+        assert got.dtype == bool
+        assert got.tolist() == [True, True, True, True, False, False]
+
+    def test_numpy_array_keys_hit_scalar_fallback_as_python_ints(self):
+        # np.int64 is not `int`; the default must normalise before hashing.
+        filt = _ScalarOnlyFilter()
+        filt.insert_many(np.array([10, 20, 30]))
+        assert sorted(filt._keys) == [10, 20, 30]
+        assert filt.may_contain_many(np.array([10, 20, 40])).tolist() == [
+            True, True, False,
+        ]
+
+    def test_empty_batches(self):
+        for name in ("bloom", "cuckoo", "quotient"):
+            filt = make_filter(name, capacity=64, epsilon=0.05, seed=7)
+            filt.insert_many([])
+            assert filt.may_contain_many([]).shape == (0,)
+            assert len(filt) == 0
+
+    def test_as_key_list(self):
+        out = as_key_list(np.array([1, 2, 3]))
+        assert out == [1, 2, 3] and all(type(k) is int for k in out)
+        assert as_key_list((1, "a")) == [1, "a"]
+
+
+class TestNumpyArrayInputs:
+    def test_vectorised_families_accept_numpy_batches(self):
+        members = np.arange(500, dtype=np.int64)
+        probes = np.arange(400, 900, dtype=np.int64)
+        for name in ("bloom", "blocked-bloom", "cuckoo", "quotient"):
+            filt = make_filter(name, capacity=1000, epsilon=0.01, seed=3)
+            filt.insert_many(members)
+            got = filt.may_contain_many(probes)
+            want = [filt.may_contain(int(k)) for k in probes]
+            assert got.tolist() == want, name
+
+
+class TestInstrumentedBatch:
+    def test_batch_probes_count_per_key(self, small_keys):
+        members, negatives = small_keys
+        registry = MetricsRegistry()
+        inner = make_filter("bloom", capacity=600, epsilon=0.01, seed=5)
+        filt = InstrumentedFilter(
+            inner, name="b", registry=registry, ground_truth=set(members)
+        )
+        filt.insert_many(members)
+        batch = members[:100] + negatives[:200]
+        results = filt.may_contain_many(batch)
+        assert results[:100].all()
+        assert filt.probes == 300
+        assert filt.positives == int(results.sum())
+        assert filt.negatives == 300 - int(results.sum())
+        # Every positive beyond the 100 true members is a false positive.
+        assert filt.false_positives == int(results.sum()) - 100
+        assert filt.probes == filt.may_contain_many([]).shape[0] + 300
+
+    def test_batch_falls_back_for_scalar_only_inner(self):
+        registry = MetricsRegistry()
+        filt = InstrumentedFilter(
+            _ScalarOnlyFilter(), name="s", registry=registry
+        )
+        filt.insert_many([1, 2, 3])
+        assert filt.may_contain_many([1, 2, 9]).tolist() == [True, True, False]
+        assert filt.probes == 3 and filt.positives == 2
+
+
+class TestBatchApps:
+    def test_lsm_multi_get_matches_get(self):
+        from repro.apps.lsm import LSMConfig, LSMTree
+
+        tree = LSMTree(LSMConfig(memtable_entries=32, seed=3))
+        for i in range(500):
+            tree.put(i, i * 10)
+        for i in range(0, 100, 7):
+            tree.delete(i)
+        probe = list(range(-50, 600, 3))
+        want = [tree.get(k, default="miss") for k in probe]
+        got = tree.multi_get(probe, default="miss")
+        assert got == want
+        assert tree.multi_get([]) == []
+
+    def test_lsm_multi_get_issues_fewer_device_reads(self):
+        from repro.apps.lsm import LSMConfig, LSMTree
+
+        tree = LSMTree(LSMConfig(memtable_entries=32, seed=3))
+        for i in range(500):
+            tree.put(i, i)
+        tree.flush()
+        probe = list(range(200, 400))
+        before = tree.device.stats.reads
+        tree.multi_get(probe)
+        batch_reads = tree.device.stats.reads - before
+        before = tree.device.stats.reads
+        for key in probe:
+            tree.get(key)
+        scalar_reads = tree.device.stats.reads - before
+        # One read per run per batch vs one per (key, probed run).
+        assert batch_reads <= tree.n_runs
+        assert batch_reads < scalar_reads
+
+    def test_lsm_multi_get_maplet_mode(self):
+        from repro.apps.lsm import LSMConfig, LSMTree
+
+        tree = LSMTree(
+            LSMConfig(memtable_entries=16, use_maplet=True, seed=3)
+        )
+        for i in range(200):
+            tree.put(i, -i)
+        probe = list(range(-20, 250, 2))
+        assert tree.multi_get(probe) == [tree.get(k) for k in probe]
+
+    def test_filtered_dictionary_get_many(self, small_keys):
+        from repro.adaptive.dictionary import FilteredDictionary
+
+        members, negatives = small_keys
+        filt = make_filter("bloom", capacity=600, epsilon=0.01, seed=5)
+        d = FilteredDictionary(filt)
+        for key in members:
+            d.put(key, str(key))
+        probe = members[:50] + negatives[:100]
+        got = d.get_many(probe, default="miss")
+        want = [d.get(k, "miss") for k in probe]
+        assert got == want
+        assert d.get_many([]) == []
+
+    def test_filtered_dictionary_get_many_adaptive_feedback(self, small_keys):
+        from repro.adaptive.dictionary import FilteredDictionary
+
+        members, negatives = small_keys
+        filt = make_filter("adaptive-cuckoo", capacity=600, epsilon=0.05, seed=5)
+        d = FilteredDictionary(filt)
+        for key in members[:300]:
+            d.put(key, key)
+        d.get_many(negatives)
+        assert d.stats.adaptations_fed_back == d.stats.false_positives
+        # Adapted keys stop false-positiving on the next batch.
+        second = d.stats.false_positives
+        d.get_many(negatives)
+        assert d.stats.false_positives - second <= second
