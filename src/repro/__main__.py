@@ -18,6 +18,10 @@ stats [--workload B] [--format table|prometheus|json] [--selftest]
 trace [--n-gets N] [--fault-rate R]
     Record probe traces through ``LSMTree.get`` under fault injection
     and print the most interesting span tree.
+serve-sim [--seed S] [--n-requests N] [--fault-rate R] [--budget-ms B]
+    Run a calm → storm → recovery chaos schedule through the deadline-
+    aware serving layer (docs/robustness.md) and print the per-phase
+    outcome table, breaker transitions, and served-latency tail.
 
 (For end-to-end demonstrations, run the scripts in ``examples/``.)
 """
@@ -194,6 +198,46 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve_sim(args) -> int:
+    from repro import obs
+    from repro.serve import (
+        BreakerState, ServeOutcome, StormPhase, build_stack, run_storm,
+    )
+
+    n = args.n_requests
+    phases = (
+        StormPhase("calm", n // 3),
+        StormPhase("storm", n - 2 * (n // 3),
+                   transient_read=args.fault_rate, slowdown=4.0,
+                   spike_prob=0.05),
+        StormPhase("recovery", n // 3),
+    )
+    with obs.use_registry():
+        served, tree, _device, _injector, _latency, _clock = build_stack(
+            seed=args.seed, n_keys=args.n_keys, budget=args.budget_ms / 1000.0
+        )
+        report = run_storm(served, phases, seed=args.seed, n_keys=args.n_keys)
+        header = (f"{'phase':10s} {'requests':>8s} "
+                  + "".join(f"{o.value:>10s}" for o in ServeOutcome)
+                  + f" {'p99 (ms)':>9s}")
+        print(f"storm schedule: {n} requests, fault rate {args.fault_rate}, "
+              f"budget {args.budget_ms:.1f} ms, seed {args.seed}")
+        print(header)
+        print("-" * len(header))
+        for p in report.phases:
+            print(f"{p.name:10s} {p.n_requests:8d} "
+                  + "".join(f"{p.outcomes[o]:10d}" for o in ServeOutcome)
+                  + f" {1e3 * p.latency_quantile(0.99):9.2f}")
+        print(f"\ngoodput (served/total): {report.goodput():.3f}")
+        print(f"false negatives: {report.false_negatives} (must be 0)")
+        print(f"breaker transitions: {report.breaker_opens} opened, "
+              f"{report.breaker_closes} closed "
+              f"({len(served.breaker_device.open_breakers())} not yet recovered)")
+        half_open = served.breaker_device.n_transitions(BreakerState.HALF_OPEN)
+        print(f"half-open probe rounds: {half_open}")
+    return 0 if report.false_negatives == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -220,6 +264,17 @@ def main(argv: list[str] | None = None) -> int:
     p_trace = sub.add_parser("trace", help="record and print a probe trace")
     _add_workload_args(p_trace)
 
+    p_serve = sub.add_parser(
+        "serve-sim", help="chaos storm through the deadline-aware serving layer"
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--n-requests", type=int, default=900)
+    p_serve.add_argument("--n-keys", type=int, default=2000)
+    p_serve.add_argument("--fault-rate", type=float, default=0.6,
+                         help="transient-read probability during the storm phase")
+    p_serve.add_argument("--budget-ms", type=float, default=50.0,
+                         help="per-request deadline budget in simulated ms")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -235,6 +290,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_stats(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve-sim":
+        if not 0 <= args.fault_rate <= 1:
+            parser.error("--fault-rate must be in [0, 1]")
+        if args.budget_ms <= 0:
+            parser.error("--budget-ms must be positive")
+        return _cmd_serve_sim(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -25,6 +25,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.common.clock import Answer, DeadlineExceeded, LookupResult
+from repro.common.faults import CircuitOpenError, TransientIOError
 from repro.common.storage import BlockDevice
 from repro.core.interfaces import AdaptiveFilter, Key, KeyBatch, as_key_list
 from repro.obs.metrics import default_registry
@@ -70,28 +72,64 @@ class FilteredDictionary:
         self._device.delete(("kv", key))
         self._filter.delete(key)
 
-    def get(self, key: Key, default: Any = None) -> Any:
-        """Point lookup.  Disk is touched only when the filter says maybe."""
+    def get(self, key: Key, default: Any = None, *, deadline: Any = None) -> Any:
+        """Point lookup.  Disk is touched only when the filter says maybe.
+
+        With a :class:`~repro.common.clock.Deadline`, raises
+        :class:`~repro.common.clock.DeadlineExceeded` when the budget
+        expires before the lookup resolves; :meth:`lookup` is the
+        non-raising tri-state form the serving layer uses.
+        """
+        with trace("dict.get", key=key):
+            result = self.lookup(key, deadline=deadline)
+        if not result.complete and result.reason == "deadline":
+            raise DeadlineExceeded(f"lookup of key {key!r} missed its deadline")
+        return result.value if result.found else default
+
+    def lookup(self, key: Key, *, deadline: Any = None,
+               degrade_on_error: bool = False) -> LookupResult:
+        """Deadline-aware tri-state lookup (docs/robustness.md).
+
+        The filter probe is in-memory and free; only the backing-store
+        read can burn budget or fail.  A lookup that cannot confirm its
+        answer in time — budget expired, or (with
+        ``degrade_on_error=True``) the device unreadable — degrades to
+        the conservative :data:`~repro.common.clock.Answer.MAYBE`; a
+        filter negative stays an authoritative ABSENT because it never
+        touches the device at all.
+        """
         queries = default_registry().counter(
             "repro_dict_queries_total",
             "filtered-dictionary lookups, by outcome",
             labels=("outcome",),
         )
-        with trace("dict.get", key=key):
-            self.stats.queries += 1
-            with trace("filter.probe"):
-                maybe = self._filter.may_contain(key)
-            if not maybe:
-                queries.labels(outcome="negative").inc()
-                return default
-            self.stats.disk_reads += 1
-            if self._device.exists(("kv", key)):
-                self.stats.positive_hits += 1
-                queries.labels(outcome="hit").inc()
-                return self._device.read(("kv", key))
-            # Confirmed false positive: this is the moment the paper's adaptive
-            # loop closes — the expensive read already happened, so reporting
-            # back to the filter is free.
+        self.stats.queries += 1
+        if deadline is not None and deadline.expired():
+            return LookupResult(Answer.MAYBE, complete=False, reason="deadline")
+        with trace("filter.probe"):
+            maybe = self._filter.may_contain(key)
+        if not maybe:
+            queries.labels(outcome="negative").inc()
+            return LookupResult(Answer.ABSENT)
+        self.stats.disk_reads += 1
+        try:
+            present = self._device.exists(("kv", key))
+            value = self._device.read(("kv", key)) if present else None
+        except (TransientIOError, CircuitOpenError):
+            if not degrade_on_error:
+                raise
+            return LookupResult(
+                Answer.MAYBE, complete=False, reason="unavailable", runs_skipped=1
+            )
+        result = LookupResult(Answer.ABSENT, runs_probed=1)
+        if present:
+            self.stats.positive_hits += 1
+            queries.labels(outcome="hit").inc()
+            result.state, result.value = Answer.PRESENT, value
+        else:
+            # Confirmed false positive: this is the moment the paper's
+            # adaptive loop closes — the expensive read already happened,
+            # so reporting back to the filter is free.
             self.stats.false_positives += 1
             queries.labels(outcome="false_positive").inc()
             if self._adaptive:
@@ -102,9 +140,15 @@ class FilteredDictionary:
                     "repro_dict_adaptations_total",
                     "false positives fed back to an adaptive filter",
                 ).inc()
-            return default
+        if deadline is not None and deadline.expired():
+            # Resolved, but late: report the conservative MAYBE so a late
+            # answer can never masquerade as meeting its SLO.
+            result.state, result.complete, result.reason = (
+                Answer.MAYBE, False, "deadline")
+        return result
 
-    def get_many(self, keys: KeyBatch, default: Any = None) -> list[Any]:
+    def get_many(self, keys: KeyBatch, default: Any = None,
+                 *, deadline: Any = None) -> list[Any]:
         """Batched point lookup: one filter-kernel probe for the whole
         batch, then a device read per surviving (maybe-present) key.
 
@@ -113,6 +157,10 @@ class FilteredDictionary:
         happen *before* any adaptation from this batch lands, so a false
         positive repeated within a single batch is reported once per
         occurrence rather than being absorbed by the first adaptation.
+
+        With a :class:`~repro.common.clock.Deadline`, raises
+        :class:`~repro.common.clock.DeadlineExceeded` once the budget
+        expires, with the results resolved so far on ``partial``.
         """
         key_list = as_key_list(keys)
         if not key_list:
@@ -135,6 +183,10 @@ class FilteredDictionary:
         for i, (key, maybe) in enumerate(zip(key_list, maybes)):
             if not maybe:
                 continue
+            if deadline is not None and deadline.expired():
+                raise DeadlineExceeded(
+                    "get_many missed its deadline", partial=results
+                )
             self.stats.disk_reads += 1
             if self._device.exists(("kv", key)):
                 self.stats.positive_hits += 1

@@ -51,7 +51,8 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.common.faults import RetryPolicy, TransientIOError
+from repro.common.clock import Answer, DeadlineExceeded, LookupResult
+from repro.common.faults import CircuitOpenError, RetryPolicy, TransientIOError
 from repro.common.storage import BlockDevice, IOStats
 from repro.core.errors import ChecksumError
 from repro.obs.metrics import MetricsRegistry, default_registry
@@ -512,66 +513,132 @@ class LSMTree:
         self._read_block(("run", run.run_id))
         return run.get(key)
 
-    def get(self, key: int, default: Any = None) -> Any:
+    def get(self, key: int, default: Any = None, *, deadline: Any = None) -> Any:
         """Point lookup.  Traced (``lsm.get`` → ``filter.probe`` /
         ``device.read`` → ``retry.attempt``) when a trace recorder is
-        installed; per-level probe and FP counters always accrue."""
-        with trace("lsm.get", key=key) as span:
-            found, value = self._get(key)
-            span.set_tag("found", found)
-            return value if found else default
+        installed; per-level probe and FP counters always accrue.
 
-    def _get(self, key: int) -> tuple[bool, Any]:
+        With a :class:`~repro.common.clock.Deadline`, the scan abandons
+        remaining runs once the budget expires and raises
+        :class:`~repro.common.clock.DeadlineExceeded` — the serving layer
+        (:mod:`repro.serve`) translates that into a conservative MAYBE;
+        use :meth:`lookup` directly for the non-raising tri-state form.
+        """
+        with trace("lsm.get", key=key) as span:
+            result = self.lookup(key, deadline=deadline)
+            span.set_tag("found", result.found)
+            if not result.complete and result.reason == "deadline":
+                raise DeadlineExceeded(f"lookup of key {key!r} missed its deadline")
+            return result.value if result.found else default
+
+    def lookup(self, key: int, *, deadline: Any = None,
+               degrade_on_error: bool = False) -> LookupResult:
+        """Deadline-aware tri-state lookup (docs/robustness.md).
+
+        Scans runs newest-first, abandoning the rest of the scan when
+        *deadline* expires.  With ``degrade_on_error=True`` an
+        unreadable run (retries exhausted, or its circuit breaker open)
+        is skipped instead of raising — and because a skipped run can no
+        longer be ruled out, the result degrades to the conservative
+        :data:`~repro.common.clock.Answer.MAYBE`.  ``PRESENT``/``ABSENT``
+        are returned only for scans that finished completely *within*
+        the deadline, so a late or partial answer can never masquerade
+        as authoritative — and a filter's one-sided-error contract (no
+        false negatives) survives any fault or latency storm.
+        """
         m = self._metrics()
         m.lookups.inc()
         self.stats.lookups += 1
+        result = LookupResult(state=Answer.ABSENT)
+        if deadline is not None and deadline.expired():
+            result.state, result.complete, result.reason = Answer.MAYBE, False, "deadline"
+            return result
         if key in self._memtable:
             value = self._memtable[key]
-            return value is not TOMBSTONE, value
+            if value is not TOMBSTONE:
+                result.state, result.value = Answer.PRESENT, value
+            return result
 
         if self._maplet is not None:
-            return self._get_via_maplet(key)
-
-        for run in self._runs_newest_first():
+            runs = self._maplet_candidate_runs(key)
+        else:
+            runs = self._runs_newest_first()
+        for run in runs:
+            if deadline is not None and deadline.expired():
+                result.state, result.complete, result.reason = (
+                    Answer.MAYBE, False, "deadline")
+                return result
             filtered = False
-            if run.degraded:
-                # Lost filter: this run must always be probed — exactly one
-                # extra device read per probe (EXPERIMENTS.md R1).
-                self.stats.degraded_lookups += 1
-            elif run.filter is not None:
-                level = str(run.level)
-                with trace("filter.probe", level=run.level, run=run.run_id) as sp:
-                    maybe = run.filter.may_contain(key)
-                    sp.set_tag("maybe", maybe)
-                if not maybe:
-                    m.probes.labels(level=level, result="negative").inc()
-                    continue
-                m.probes.labels(level=level, result="positive").inc()
-                filtered = True
+            if self._maplet is None:
+                if run.degraded:
+                    # Lost filter: this run must always be probed — exactly
+                    # one extra device read per probe (EXPERIMENTS.md R1).
+                    self.stats.degraded_lookups += 1
+                elif run.filter is not None:
+                    level = str(run.level)
+                    with trace("filter.probe", level=run.level, run=run.run_id) as sp:
+                        maybe = run.filter.may_contain(key)
+                        sp.set_tag("maybe", maybe)
+                    if not maybe:
+                        m.probes.labels(level=level, result="negative").inc()
+                        continue
+                    m.probes.labels(level=level, result="positive").inc()
+                    filtered = True
             self.stats.lookup_ios += 1
-            found, value = self._read_run(run, key)
+            try:
+                found, value = self._read_run(run, key)
+            except (TransientIOError, CircuitOpenError):
+                if not degrade_on_error:
+                    raise
+                # This run is unreachable, so the key can no longer be
+                # ruled out: skip it and degrade the final answer.
+                result.runs_skipped += 1
+                continue
+            result.runs_probed += 1
             if found:
                 m.io_hit.inc()
-                return value is not TOMBSTONE, value
+                present = value is not TOMBSTONE
+                result.value = value if present else None
+                if result.runs_skipped:
+                    # A newer, unreadable run may hold a fresher version
+                    # (or a tombstone): the hit is best-effort only.
+                    result.state, result.complete, result.reason = (
+                        Answer.MAYBE, False, "unavailable")
+                else:
+                    result.state = Answer.PRESENT if present else Answer.ABSENT
+                break
             self.stats.wasted_lookup_ios += 1
             m.io_wasted.inc()
             if filtered:
                 # The filter passed a key its run did not hold: a realised
                 # false positive at this level.
                 m.fps.labels(level=str(run.level)).inc()
-        return False, None
+        else:
+            if result.runs_skipped:
+                result.state, result.complete, result.reason = (
+                    Answer.MAYBE, False, "unavailable")
+        if deadline is not None and deadline.expired():
+            # Finished, but late: the answer missed its SLO, so report the
+            # conservative MAYBE (value stays attached as best-effort).
+            result.state, result.complete, result.reason = (
+                Answer.MAYBE, False, "deadline")
+        return result
 
-    def _get_via_maplet(self, key: int) -> tuple[bool, Any]:
-        """Maplet-directed lookup: probe only the runs the maplet names."""
-        m = self._metrics()
+    def _maplet_candidate_runs(self, key: int) -> list[_Run]:
+        """Maplet-directed probe set: only the runs the maplet names,
+        newest first."""
         candidates = set(self._maplet.get(key))
         by_id = {run.run_id: run for level in self._levels for run in level}
-        hits = sorted(
+        return sorted(
             (by_id[c] for c in candidates if c in by_id),
             key=lambda r: r.seq,
             reverse=True,
         )
-        for run in hits:
+
+    def _get_via_maplet(self, key: int) -> tuple[bool, Any]:
+        """Maplet-directed lookup: probe only the runs the maplet names."""
+        m = self._metrics()
+        for run in self._maplet_candidate_runs(key):
             self.stats.lookup_ios += 1
             found, value = self._read_run(run, key)
             if found:
@@ -581,8 +648,16 @@ class LSMTree:
             m.io_wasted.inc()
         return False, None
 
-    def multi_get(self, keys: list[int], default: Any = None) -> list[Any]:
+    def multi_get(self, keys: list[int], default: Any = None,
+                  *, deadline: Any = None) -> list[Any]:
         """Batched point lookup — the §3.1 batching fast path.
+
+        With a :class:`~repro.common.clock.Deadline`, the batch abandons
+        remaining runs once the budget expires and raises
+        :class:`~repro.common.clock.DeadlineExceeded` whose ``partial``
+        attribute carries the per-key results resolved so far (unresolved
+        keys still hold *default* — the caller must treat them as MAYBE,
+        never as authoritative absence).
 
         Probes each level's filter for the *whole* outstanding key batch
         (``Filter.may_contain_many``) before issuing any device read, then
@@ -617,6 +692,10 @@ class LSMTree:
 
         if self._maplet is not None:
             for i in pending:
+                if deadline is not None and deadline.expired():
+                    raise DeadlineExceeded(
+                        "multi_get missed its deadline", partial=results
+                    )
                 found, value = self._get_via_maplet(keys[i])
                 if found:
                     results[i] = value
@@ -625,6 +704,10 @@ class LSMTree:
         for run in self._runs_newest_first():
             if not pending:
                 break
+            if deadline is not None and deadline.expired():
+                raise DeadlineExceeded(
+                    "multi_get missed its deadline", partial=results
+                )
             filtered = False
             if run.degraded:
                 self.stats.degraded_lookups += len(pending)

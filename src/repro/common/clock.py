@@ -1,0 +1,125 @@
+"""Simulated time, request deadlines, and deadline-aware lookup results.
+
+The serving layer (:mod:`repro.serve`, docs/robustness.md) executes
+filter and LSM lookups under an *explicit simulated clock*: device
+latency, retry backoff, and queueing all advance the same
+:class:`SimulatedClock`, so chaos experiments measure latency in
+reproducible simulated seconds with no wall-clock sleeps — the same
+accounting-not-sleeping stance :class:`~repro.common.faults.RetryPolicy`
+already takes.
+
+A :class:`Deadline` is an absolute expiry on such a clock.  Read paths
+that accept one (``LSMTree.get/multi_get/lookup``,
+``FilteredDictionary.get/lookup``) abandon remaining work when the
+budget expires.  Because filters are one-sided (no false negatives), a
+partial lookup can always degrade to the *always-maybe* answer safely:
+:data:`Answer.MAYBE` never breaks the filter contract, it only costs the
+caller the read the filter would have saved.  That is the degradation
+posture the whole serving layer is built on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class SimulatedClock:
+    """A monotonically advancing clock measured in simulated seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by *dt* seconds; returns the new time."""
+        if dt < 0:
+            raise ValueError("the simulated clock cannot run backwards")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move forward to time *t* (no-op if *t* is already in the past)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimulatedClock(t={self._now:.6f})"
+
+
+class DeadlineExceeded(TimeoutError):
+    """A lookup's time budget expired before the scan completed.
+
+    ``partial`` carries whatever results were computed before expiry
+    (``multi_get`` attaches the per-key results so far); callers that
+    degrade rather than fail — the serving layer — translate this into
+    a conservative :data:`Answer.MAYBE`.
+    """
+
+    def __init__(self, message: str, partial: Any = None):
+        super().__init__(message)
+        self.partial = partial
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute expiry time on a :class:`SimulatedClock`."""
+
+    clock: SimulatedClock
+    expires_at: float
+
+    @classmethod
+    def after(cls, clock: SimulatedClock, budget: float) -> "Deadline":
+        """The deadline *budget* seconds from the clock's current time."""
+        if budget < 0:
+            raise ValueError("deadline budget must be non-negative")
+        return cls(clock, clock.now() + budget)
+
+    def remaining(self) -> float:
+        return self.expires_at - self.clock.now()
+
+    def expired(self) -> bool:
+        return self.clock.now() >= self.expires_at
+
+
+class Answer(enum.Enum):
+    """Tri-state lookup answer under the one-sided-error contract.
+
+    ``PRESENT``/``ABSENT`` are authoritative.  ``MAYBE`` is the safe
+    degraded answer: the scan could not rule the key out (deadline
+    expired, a run was unreachable), so the caller must treat the key as
+    possibly present — exactly what a filter positive already means.
+    """
+
+    PRESENT = "present"
+    ABSENT = "absent"
+    MAYBE = "maybe"
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one deadline-aware lookup.
+
+    ``complete`` is True only when every relevant run/record was
+    consulted in time; only then can ``state`` be authoritative.
+    ``value`` is best-effort: populated on a hit even when a newer run
+    was skipped (``state`` stays :data:`Answer.MAYBE` in that case,
+    because the skipped run could hold a newer version or a tombstone).
+    ``reason`` explains incompleteness: ``"deadline"`` or
+    ``"unavailable"``.
+    """
+
+    state: Answer
+    value: Any = None
+    complete: bool = True
+    reason: str | None = None
+    runs_probed: int = 0
+    runs_skipped: int = 0
+
+    @property
+    def found(self) -> bool:
+        return self.state is Answer.PRESENT

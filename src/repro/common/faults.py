@@ -19,7 +19,14 @@ LSM recovery, scrubbing) can be driven through seeded fault schedules.
   corrupted, giving tests ground truth to check a scrubber against.
 * :class:`RetryPolicy` — bounded retries with deterministic exponential
   backoff *accounting* (simulated seconds; nothing sleeps), so callers
-  can express "retry transient faults N times, then degrade".
+  can express "retry transient faults N times, then degrade".  Optional
+  seeded *decorrelated jitter* desynchronises concurrent retriers so
+  they cannot thundering-herd a recovering device.
+* :class:`LatencyInjector` — a seeded service-time model (baseline
+  latency, random spikes, slow-disk plateaus, a mutable phase slowdown)
+  that advances a :class:`~repro.common.clock.SimulatedClock` on every
+  device operation, so chaos schedules can create *overload*, not just
+  corruption (docs/robustness.md, serving-layer failure model).
 """
 
 from __future__ import annotations
@@ -35,6 +42,15 @@ from repro.obs.tracing import trace
 
 class TransientIOError(OSError):
     """A read that failed now but may succeed if retried."""
+
+
+class CircuitOpenError(OSError):
+    """A read refused fast by an open circuit breaker (:mod:`repro.serve`).
+
+    Deliberately *not* a :class:`TransientIOError`: an open breaker means
+    retrying now is pointless, so :class:`RetryPolicy` propagates it
+    immediately instead of piling retries onto a struggling device.
+    """
 
 
 # -- fault policy -----------------------------------------------------------------
@@ -130,6 +146,80 @@ class FaultInjector:
         return payload[:cut]
 
 
+# -- latency injection -------------------------------------------------------------
+
+@dataclass
+class LatencyStats:
+    """Counts and totals of simulated service time actually injected."""
+
+    operations: int = 0
+    spikes: int = 0
+    plateau_draws: int = 0
+    total_seconds: float = 0.0
+
+
+class LatencyInjector:
+    """Seeded service-time model for a simulated device.
+
+    Each operation draws ``base`` seconds with ±``jitter`` relative
+    noise, then applies, in order:
+
+    * **plateaus** — ``(start, end, multiplier)`` windows in simulated
+      time (a slow-disk episode: every operation in the window is
+      uniformly slower);
+    * **slowdown** — a mutable phase multiplier, so a storm driver can
+      degrade the device between phases without pre-computing absolute
+      times;
+    * **spikes** — with probability ``spike_prob`` a single operation
+      takes ``spike_scale``× longer (GC pause, read retry inside the
+      device, a stray slow sector).
+
+    The same seed over the same operation sequence draws the same
+    latencies — overload chaos is as reproducible as corruption chaos.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        base: float = 0.001,
+        jitter: float = 0.25,
+        spike_prob: float = 0.0,
+        spike_scale: float = 25.0,
+        plateaus: tuple[tuple[float, float, float], ...] = (),
+    ):
+        if base < 0 or not 0 <= jitter <= 1:
+            raise ValueError("need base >= 0 and jitter in [0, 1]")
+        self.seed = seed
+        self.base = base
+        self.jitter = jitter
+        self.spike_prob = spike_prob
+        self.spike_scale = spike_scale
+        self.plateaus = tuple(plateaus)
+        self.slowdown = 1.0  # mutable phase multiplier (storm drivers)
+        self.stats = LatencyStats()
+        self._rng = random.Random(seed ^ 0x1A7E4C)
+
+    def draw(self, now: float, kind: str = "read", address: Any = None) -> float:
+        """Service time in simulated seconds for one operation at *now*."""
+        latency = self.base * (1.0 + self.jitter * (2.0 * self._rng.random() - 1.0))
+        for start, end, multiplier in self.plateaus:
+            if start <= now < end:
+                latency *= multiplier
+                self.stats.plateau_draws += 1
+                break
+        latency *= self.slowdown
+        if self.spike_prob and self._rng.random() < self.spike_prob:
+            latency *= self.spike_scale
+            self.stats.spikes += 1
+            default_registry().counter(
+                "repro_device_latency_spikes_total",
+                "latency spikes injected by LatencyInjector",
+            ).inc()
+        self.stats.operations += 1
+        self.stats.total_seconds += latency
+        return latency
+
+
 # -- faulty device ----------------------------------------------------------------
 
 class FaultyBlockDevice:
@@ -139,13 +229,34 @@ class FaultyBlockDevice:
     media corruption of raw blobs); structured payloads can still suffer
     lost writes and transient reads.  I/O is charged for lost writes too —
     the device acknowledged the request; the data just never landed.
+
+    When a :class:`LatencyInjector` and a
+    :class:`~repro.common.clock.SimulatedClock` are attached, every
+    operation — including a read that then fails transiently; the failed
+    I/O still took time — advances the clock by its drawn service time
+    and accrues it in ``stats.busy_seconds``.
     """
 
-    def __init__(self, device: BlockDevice | None = None, injector: FaultInjector | None = None):
+    def __init__(
+        self,
+        device: BlockDevice | None = None,
+        injector: FaultInjector | None = None,
+        latency: LatencyInjector | None = None,
+        clock: Any = None,
+    ):
         self.inner = device if device is not None else BlockDevice()
         self.injector = injector if injector is not None else FaultInjector()
+        self.latency = latency
+        self.clock = clock
         self.fault_log: list[tuple[str, Any]] = []
         self._corrupt: set[Any] = set()
+
+    def _spend(self, kind: str, address: Any) -> None:
+        if self.latency is None or self.clock is None:
+            return
+        dt = self.latency.draw(self.clock.now(), kind, address)
+        self.clock.advance(dt)
+        self.inner.stats.busy_seconds += dt
 
     @property
     def stats(self) -> IOStats:
@@ -163,6 +274,7 @@ class FaultyBlockDevice:
     def write(self, address: Any, payload: Any, size: int | None = None) -> None:
         if size is None:
             size = _default_size(payload)
+        self._spend("write", address)
         action = self.injector.draw_write(address)
         is_blob = isinstance(payload, (bytes, bytearray)) and len(payload) > 0
         if action == "lost":
@@ -192,6 +304,7 @@ class FaultyBlockDevice:
         self._corrupt.discard(address)
 
     def read(self, address: Any) -> Any:
+        self._spend("read", address)
         if self.injector.draw_read(address):
             self.injector.stats.transient_reads += 1
             self.fault_log.append(("transient", address))
@@ -242,24 +355,55 @@ class RetryStats:
 
 @dataclass
 class RetryPolicy:
-    """Bounded retry with deterministic exponential-backoff accounting.
+    """Bounded retry with deterministic backoff accounting.
 
     ``call(fn, *args)`` invokes *fn*, retrying on
     :class:`TransientIOError` up to ``max_attempts`` total attempts.
     Backoff is *accounted*, not slept: ``stats.backoff_seconds``
-    accumulates ``base_backoff * multiplier**retry_index`` so experiments
-    can report time-to-recover without wall-clock sleeps.  After the last
-    attempt the error propagates — the caller decides how to degrade.
+    accumulates each delay so experiments can report time-to-recover
+    without wall-clock sleeps (when a simulated ``clock`` is attached the
+    delay also advances it, so backoff burns real deadline budget).
+    After the last attempt the error propagates — the caller decides how
+    to degrade.
+
+    ``jitter`` selects the schedule:
+
+    * ``"none"`` — pure exponential ``base_backoff * multiplier**i``.
+      Deterministic, but every concurrent retrier computes the *same*
+      schedule, so a shared fault synchronises them into a thundering
+      herd that re-arrives in lockstep.
+    * ``"decorrelated"`` — seeded decorrelated jitter (AWS-style):
+      ``sleep_i = min(max_backoff, uniform(base, 3 * sleep_{i-1}))``.
+      Retriers with different seeds spread out; the same seed replays
+      the same schedule exactly, so chaos tests stay reproducible.
     """
 
     max_attempts: int = 3
     base_backoff: float = 0.001
     multiplier: float = 2.0
+    jitter: str = "none"  # "none" | "decorrelated"
+    max_backoff: float = 1.0
+    seed: int = 0
+    clock: Any = None
     stats: RetryStats = field(default_factory=RetryStats)
 
     def __post_init__(self):
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
+        if self.jitter not in ("none", "decorrelated"):
+            raise ValueError(f"unknown jitter mode {self.jitter!r}")
+        self._rng = random.Random(self.seed ^ 0xB0FF)
+        self._prev_backoff = self.base_backoff
+
+    def next_backoff(self, attempt: int) -> float:
+        """The delay charged after failed attempt *attempt* (0-based)."""
+        if self.jitter == "none":
+            return self.base_backoff * self.multiplier**attempt
+        self._prev_backoff = min(
+            self.max_backoff,
+            self._rng.uniform(self.base_backoff, 3.0 * self._prev_backoff),
+        )
+        return self._prev_backoff
 
     def call(self, fn: Callable, *args, **kwargs):
         registry = default_registry()
@@ -281,8 +425,10 @@ class RetryPolicy:
                     raise
                 self.stats.retries += 1
                 attempts.labels(outcome="retry").inc()
-                backoff = self.base_backoff * self.multiplier**attempt
+                backoff = self.next_backoff(attempt)
                 self.stats.backoff_seconds += backoff
+                if self.clock is not None:
+                    self.clock.advance(backoff)
                 registry.histogram(
                     "repro_retry_backoff_seconds",
                     "simulated exponential-backoff delay per retry",

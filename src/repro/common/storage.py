@@ -35,6 +35,10 @@ class IOStats:
     writes: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    # Simulated seconds the device spent servicing operations — accrued by
+    # the latency-injection layer (repro.common.faults.LatencyInjector);
+    # stays 0.0 on a device with no latency model attached.
+    busy_seconds: float = 0.0
 
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}

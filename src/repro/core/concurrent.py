@@ -15,7 +15,9 @@ from __future__ import annotations
 import threading
 from collections.abc import Callable
 
-from repro.core.interfaces import DynamicFilter, Key
+import numpy as np
+
+from repro.core.interfaces import DynamicFilter, Key, KeyBatch, as_key_list
 from repro.common.hashing import hash_to_range
 
 
@@ -54,6 +56,45 @@ class ShardedFilter(DynamicFilter):
         i = self._shard_of(key)
         with self._locks[i]:
             self._shards[i].delete(key)
+
+    # -- batch API (docs/performance.md) ---------------------------------------
+
+    def _group_by_shard(self, keys: KeyBatch) -> dict[int, tuple[list[int], list]]:
+        """Partition a batch: shard index -> (positions, keys), order kept."""
+        groups: dict[int, tuple[list[int], list]] = {}
+        for position, key in enumerate(as_key_list(keys)):
+            shard = self._shard_of(key)
+            bucket = groups.get(shard)
+            if bucket is None:
+                bucket = groups[shard] = ([], [])
+            bucket[0].append(position)
+            bucket[1].append(key)
+        return groups
+
+    def insert_many(self, keys: KeyBatch) -> None:
+        """Batch insert: one grouped ``insert_many`` per touched shard.
+
+        Each shard's lock is taken once per batch instead of once per
+        key, and each shard sees its keys in their original relative
+        order.  On ``FilterFullError`` the keys already handed to shards
+        stay inserted (the cross-shard processing order is by shard, not
+        by batch position — shards are independent, so only the failing
+        shard's progress is partial).
+        """
+        for shard, (_positions, shard_keys) in self._group_by_shard(keys).items():
+            with self._locks[shard]:
+                self._shards[shard].insert_many(shard_keys)
+
+    def may_contain_many(self, keys: KeyBatch) -> np.ndarray:
+        """Batch probe: group per shard, one vectorised kernel call (and
+        one lock acquisition) per shard, answers scattered back in batch
+        order."""
+        key_list = as_key_list(keys)
+        out = np.zeros(len(key_list), dtype=bool)
+        for shard, (positions, shard_keys) in self._group_by_shard(key_list).items():
+            with self._locks[shard]:
+                out[positions] = self._shards[shard].may_contain_many(shard_keys)
+        return out
 
     def __len__(self) -> int:
         return sum(len(shard) for shard in self._shards)

@@ -28,6 +28,7 @@ from repro.obs.metrics import (
     log_buckets,
     registry_from_snapshot,
     set_default_registry,
+    timed,
     use_registry,
     validate_label_name,
     validate_metric_name,
@@ -75,6 +76,7 @@ __all__ = [
     "selftest",
     "set_default_recorder",
     "set_default_registry",
+    "timed",
     "to_json",
     "to_prometheus",
     "trace",

@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import re
 import threading
+import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Any, Iterator
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -258,6 +259,24 @@ class Histogram(_Metric):
     @property
     def sum(self) -> float:
         return self._default_child().sum
+
+
+@contextmanager
+def timed(histogram, clock: Any = None) -> Iterator[None]:
+    """Observe a block's duration into *histogram* (or a labelled child).
+
+    *clock* is anything with ``now()`` — normally a
+    :class:`~repro.common.clock.SimulatedClock`, so instrumented code
+    measures accounted simulated time; defaults to wall time.  The
+    duration is recorded even when the block raises: a failed operation
+    still took that long.
+    """
+    now = clock.now if clock is not None else time.perf_counter
+    start = now()
+    try:
+        yield
+    finally:
+        histogram.observe(now() - start)
 
 
 class MetricsRegistry:

@@ -1,0 +1,57 @@
+"""repro.serve — deadline-aware serving over the filter/LSM stack.
+
+The robustness story's last layer (docs/robustness.md): per-request
+deadlines, per-run circuit breakers, queue-delay load shedding, and a
+:class:`ServedFilter` facade whose every degraded path answers the
+always-safe MAYBE.  CLI surface: ``python -m repro serve-sim``.
+"""
+
+from repro.common.clock import (
+    Answer,
+    Deadline,
+    DeadlineExceeded,
+    LookupResult,
+    SimulatedClock,
+)
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionStats,
+    Priority,
+)
+from repro.serve.breaker import BreakerDevice, BreakerState, CircuitBreaker
+from repro.serve.served import ServedFilter, ServedResponse, ServeOutcome
+from repro.serve.sim import (
+    CALM_STORM_RECOVERY,
+    PhaseReport,
+    StormPhase,
+    StormReport,
+    build_stack,
+    run_storm,
+)
+
+__all__ = [
+    "Answer",
+    "Deadline",
+    "DeadlineExceeded",
+    "LookupResult",
+    "SimulatedClock",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionStats",
+    "Priority",
+    "BreakerDevice",
+    "BreakerState",
+    "CircuitBreaker",
+    "ServedFilter",
+    "ServedResponse",
+    "ServeOutcome",
+    "CALM_STORM_RECOVERY",
+    "PhaseReport",
+    "StormPhase",
+    "StormReport",
+    "build_stack",
+    "run_storm",
+]

@@ -1,0 +1,216 @@
+"""Seeded chaos-under-load storms against a served LSM stack.
+
+The serving layer's claims — no false negatives, breakers trip and
+recover, shedding stays bounded, tail latency respects deadlines — are
+statements about behaviour *under storms*, so this module provides the
+storm: :func:`build_stack` assembles the full serving pipeline
+(simulated clock → fault + latency injectors → faulty device → circuit
+breakers → LSM-tree → admission → :class:`ServedFilter`), and
+:func:`run_storm` drives an open-loop Poisson workload through a
+schedule of :class:`StormPhase` s, flipping fault rates and latency
+multipliers between phases the way a real incident does.
+
+Everything is seeded: the same ``(seed, phases)`` pair replays the same
+faults, the same latency spikes, the same arrivals, and therefore the
+same outcomes — chaos tests assert exact invariants, not luck.  The
+report checks the one invariant that must *never* bend: a key that was
+loaded is never answered ABSENT, no matter what broke.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.apps.lsm import LSMConfig, LSMTree
+from repro.common.clock import SimulatedClock
+from repro.common.faults import (
+    FaultInjector,
+    FaultyBlockDevice,
+    LatencyInjector,
+    RetryPolicy,
+)
+from repro.serve.admission import AdmissionConfig, AdmissionController, Priority
+from repro.serve.breaker import BreakerDevice, BreakerState
+from repro.serve.served import ServedFilter, ServeOutcome
+
+
+@dataclass
+class StormPhase:
+    """One segment of a storm schedule.
+
+    ``transient_read`` is the per-read fault probability applied to run
+    and filter blobs for the phase; ``slowdown`` multiplies the latency
+    injector's service times (a slow-disk plateau); ``spike_prob``
+    overrides the injector's tail-spike probability.
+    """
+
+    name: str
+    n_requests: int
+    mean_interarrival: float = 0.002
+    transient_read: float = 0.0
+    slowdown: float = 1.0
+    spike_prob: float = 0.0
+
+    def __post_init__(self):
+        if self.n_requests < 0:
+            raise ValueError("n_requests must be non-negative")
+        if self.mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be positive")
+        if not 0.0 <= self.transient_read <= 1.0:
+            raise ValueError("transient_read must be a probability")
+
+
+@dataclass
+class PhaseReport:
+    """Outcome tallies for one phase."""
+
+    name: str
+    outcomes: dict[ServeOutcome, int] = field(
+        default_factory=lambda: {o: 0 for o in ServeOutcome}
+    )
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def n_requests(self) -> int:
+        return sum(self.outcomes.values())
+
+    def rate(self, outcome: ServeOutcome) -> float:
+        n = self.n_requests
+        return self.outcomes[outcome] / n if n else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        """Empirical *q*-quantile of served-request latency."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+
+@dataclass
+class StormReport:
+    """Whole-storm result: per-phase tallies plus global invariants."""
+
+    phases: list[PhaseReport] = field(default_factory=list)
+    false_negatives: int = 0
+    breaker_opens: int = 0
+    breaker_closes: int = 0
+
+    @property
+    def n_requests(self) -> int:
+        return sum(p.n_requests for p in self.phases)
+
+    def total(self, outcome: ServeOutcome) -> int:
+        return sum(p.outcomes[outcome] for p in self.phases)
+
+    def goodput(self) -> float:
+        """Fraction of requests answered authoritatively and on time."""
+        n = self.n_requests
+        return self.total(ServeOutcome.SERVED) / n if n else 0.0
+
+
+def build_stack(
+    seed: int = 0,
+    n_keys: int = 2_000,
+    *,
+    budget: float = 0.050,
+    base_latency: float = 0.0008,
+    breaker_kwargs: dict | None = None,
+    admission_config: AdmissionConfig | None = None,
+    lsm_config: LSMConfig | None = None,
+):
+    """Assemble a full serving stack over a freshly-loaded LSM-tree.
+
+    Keys ``0..n_keys`` are ingested *before* any faults or latency are
+    enabled, so the storm's false-negative check has clean ground truth.
+    Returns ``(served, tree, device, injector, latency, clock)``.
+    """
+    clock = SimulatedClock()
+    injector = FaultInjector(seed=seed)
+    latency = LatencyInjector(seed=seed, base=base_latency)
+    latency.slowdown = 0.0  # load phase is free: storms start at t=0
+    device = FaultyBlockDevice(injector=injector, latency=latency, clock=clock)
+    breaker_device = BreakerDevice(
+        device, clock, **(breaker_kwargs or {"cooldown": 0.05, "min_samples": 4})
+    )
+    config = lsm_config if lsm_config is not None else LSMConfig(
+        memtable_entries=64, retry_attempts=3, seed=seed
+    )
+    tree = LSMTree(config, device=breaker_device)
+    # Backoff burns simulated time and is seeded, like everything else.
+    tree.retry = RetryPolicy(
+        max_attempts=config.retry_attempts,
+        jitter="decorrelated",
+        base_backoff=0.0005,
+        max_backoff=0.01,
+        seed=seed,
+        clock=clock,
+    )
+    for key in range(n_keys):
+        tree.put(key, f"value-{key}")
+    latency.slowdown = 1.0
+    admission = AdmissionController(clock, admission_config)
+    served = ServedFilter(
+        tree, clock,
+        admission=admission, breaker_device=breaker_device,
+        default_budget=budget,
+    )
+    return served, tree, device, injector, latency, clock
+
+
+CALM_STORM_RECOVERY = (
+    StormPhase("calm", 300, transient_read=0.0),
+    StormPhase("storm", 400, transient_read=0.6, slowdown=4.0, spike_prob=0.05),
+    StormPhase("recovery", 300, transient_read=0.0),
+)
+
+
+def run_storm(
+    served: ServedFilter,
+    phases=CALM_STORM_RECOVERY,
+    *,
+    seed: int = 0,
+    n_keys: int = 2_000,
+    present_fraction: float = 0.5,
+    priority_weights: tuple[float, float, float] = (0.2, 0.6, 0.2),
+) -> StormReport:
+    """Drive a phase schedule through *served* and audit the answers.
+
+    Each request targets a loaded key with probability
+    *present_fraction*, else a key guaranteed absent.  A false negative
+    is a present key answered ABSENT — the invariant the one-sided-error
+    contract says can never happen, shed or storm or not.
+    """
+    rng = random.Random(seed ^ 0x570F)
+    injector = served.breaker_device.injector
+    latency = served.breaker_device.latency
+    clock = served.clock
+    report = StormReport()
+    priorities = (Priority.HIGH, Priority.NORMAL, Priority.LOW)
+    arrival = clock.now()
+    for phase in phases:
+        injector.transient_read = {
+            "run": phase.transient_read,
+            "filter": phase.transient_read,
+            "*": 0.0,
+        }
+        latency.slowdown = phase.slowdown
+        latency.spike_prob = phase.spike_prob
+        phase_report = PhaseReport(phase.name)
+        report.phases.append(phase_report)
+        for _ in range(phase.n_requests):
+            arrival += rng.expovariate(1.0 / phase.mean_interarrival)
+            present = rng.random() < present_fraction
+            key = rng.randrange(n_keys) if present else n_keys + rng.randrange(n_keys)
+            priority = rng.choices(priorities, weights=priority_weights)[0]
+            response = served.serve(key, priority=priority, arrival=arrival)
+            phase_report.outcomes[response.outcome] += 1
+            if response.outcome is ServeOutcome.SERVED:
+                phase_report.latencies.append(response.latency)
+            if present and response.answer.value == "absent":
+                report.false_negatives += 1
+    report.breaker_opens = served.breaker_device.n_transitions(BreakerState.OPEN)
+    report.breaker_closes = served.breaker_device.n_transitions(BreakerState.CLOSED)
+    served.publish_gauges()
+    return report

@@ -15,6 +15,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.concurrent import ShardedFilter
 from repro.core.interfaces import DynamicFilter, as_key_list
 from repro.core.registry import FEATURE_MATRIX, make_filter
 from repro.obs import InstrumentedFilter, MetricsRegistry
@@ -29,7 +30,22 @@ DYNAMIC_NAMES = sorted(
     for name, f in FEATURE_MATRIX.items()
     if _factory_constructible(f) and f.kind in ("dynamic", "semi-dynamic")
 )
+# "sharded:<inner>" wraps the inner family in a lock-striped ShardedFilter —
+# its grouped batch path must satisfy the same contract as the flat filters.
+DYNAMIC_NAMES += ["sharded:bloom", "sharded:cuckoo"]
 STATIC_NAMES = ["xor", "xor-plus", "ribbon"]
+
+
+def _make_dynamic(name: str, *, capacity: int, epsilon: float, seed: int):
+    if name.startswith("sharded:"):
+        inner = name.split(":", 1)[1]
+        n_shards = 4
+        return ShardedFilter(
+            lambda i: make_filter(inner, capacity=capacity // n_shards + 8,
+                                  epsilon=epsilon, seed=seed + i),
+            n_shards=n_shards, seed=seed,
+        )
+    return make_filter(name, capacity=capacity, epsilon=epsilon, seed=seed)
 
 def _hash_identity(key):
     # '' and b'' (and any str/bytes pair with equal utf-8 encoding) fold to
@@ -60,7 +76,7 @@ class TestDynamicBatchContract:
     @given(keys=keys_strategy)
     @settings(max_examples=10, deadline=None)
     def test_batch_equals_scalar_and_no_false_negatives(self, name, keys):
-        filt = make_filter(name, capacity=256, epsilon=0.05, seed=7)
+        filt = _make_dynamic(name, capacity=256, epsilon=0.05, seed=7)
         inserted = keys[: len(keys) // 2 + 1]
         filt.insert_many(inserted)
         _assert_batch_matches_scalar(filt, keys)
@@ -70,9 +86,9 @@ class TestDynamicBatchContract:
     @given(keys=keys_strategy)
     @settings(max_examples=5, deadline=None)
     def test_insert_many_equals_insert_loop(self, name, keys):
-        batched = make_filter(name, capacity=256, epsilon=0.05, seed=7)
+        batched = _make_dynamic(name, capacity=256, epsilon=0.05, seed=7)
         batched.insert_many(keys)
-        looped = make_filter(name, capacity=256, epsilon=0.05, seed=7)
+        looped = _make_dynamic(name, capacity=256, epsilon=0.05, seed=7)
         for key in keys:
             looped.insert(key)
         assert len(batched) == len(looped)

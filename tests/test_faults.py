@@ -13,9 +13,11 @@ import random
 import pytest
 
 from repro.apps.lsm import LSMConfig, LSMTree
+from repro.common.clock import SimulatedClock
 from repro.common.faults import (
     FaultInjector,
     FaultyBlockDevice,
+    LatencyInjector,
     RetryPolicy,
     TransientIOError,
 )
@@ -193,6 +195,110 @@ class TestRetryPolicy:
     def test_rejects_zero_attempts(self):
         with pytest.raises(ValueError):
             RetryPolicy(max_attempts=0)
+
+    def test_rejects_unknown_jitter_mode(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter="thundering-herd")
+
+    def _jitter_schedule(self, seed: int, n: int = 6) -> list[float]:
+        policy = RetryPolicy(jitter="decorrelated", base_backoff=0.01,
+                             max_backoff=0.5, seed=seed)
+        return [policy.next_backoff(i) for i in range(n)]
+
+    def test_decorrelated_jitter_is_seed_deterministic(self):
+        # The reproducibility contract: the schedule is a pure function
+        # of the seed, so a chaos run replays byte-for-byte.
+        assert self._jitter_schedule(seed=42) == self._jitter_schedule(seed=42)
+        assert self._jitter_schedule(seed=42) != self._jitter_schedule(seed=43)
+
+    def test_decorrelated_jitter_respects_bounds(self):
+        schedule = self._jitter_schedule(seed=7, n=50)
+        assert all(0.01 <= b <= 0.5 for b in schedule)
+        # Decorrelated jitter must actually vary, unlike fixed backoff.
+        assert len(set(schedule)) > 1
+
+    def test_jittered_call_advances_supplied_clock(self):
+
+        clock = SimulatedClock()
+        policy = RetryPolicy(max_attempts=3, jitter="decorrelated",
+                             base_backoff=0.01, max_backoff=0.5,
+                             seed=5, clock=clock)
+
+        def always_fail():
+            raise TransientIOError("down")
+
+        with pytest.raises(TransientIOError):
+            policy.call(always_fail)
+        # Two backoffs (attempts 1 and 2) were accounted on the clock.
+        assert clock.now() == pytest.approx(policy.stats.backoff_seconds)
+        assert clock.now() >= 2 * 0.01
+
+
+class TestLatencyInjector:
+    def _draws(self, injector, n=200):
+        return [injector.draw(0.0) for _ in range(n)]
+
+    def test_deterministic_given_seed(self):
+        a = self._draws(LatencyInjector(seed=9, base=0.001, spike_prob=0.1))
+        b = self._draws(LatencyInjector(seed=9, base=0.001, spike_prob=0.1))
+        c = self._draws(LatencyInjector(seed=10, base=0.001, spike_prob=0.1))
+        assert a == b
+        assert a != c
+
+    def test_jitter_stays_within_band(self):
+        injector = LatencyInjector(seed=1, base=0.001, jitter=0.25)
+        for draw in self._draws(injector):
+            assert 0.00075 <= draw <= 0.00125
+
+    def test_plateau_window_slows_operations(self):
+        injector = LatencyInjector(seed=2, base=0.001, jitter=0.0,
+                                   plateaus=((1.0, 2.0, 10.0),))
+        assert injector.draw(0.5) == pytest.approx(0.001)
+        assert injector.draw(1.5) == pytest.approx(0.010)
+        assert injector.draw(2.0) == pytest.approx(0.001)  # window is half-open
+        assert injector.stats.plateau_draws == 1
+
+    def test_slowdown_multiplier_is_mutable(self):
+        injector = LatencyInjector(seed=3, base=0.001, jitter=0.0)
+        assert injector.draw(0.0) == pytest.approx(0.001)
+        injector.slowdown = 4.0
+        assert injector.draw(0.0) == pytest.approx(0.004)
+
+    def test_spikes_are_rare_and_big(self):
+        injector = LatencyInjector(seed=4, base=0.001, jitter=0.0,
+                                   spike_prob=0.05, spike_scale=25.0)
+        draws = self._draws(injector, n=1000)
+        spikes = [d for d in draws if d > 0.01]
+        assert len(spikes) == injector.stats.spikes
+        assert 10 <= len(spikes) <= 100  # ~50 expected at p=0.05
+        assert all(s == pytest.approx(0.025) for s in spikes)
+
+    def test_device_spend_advances_clock_and_busy_seconds(self):
+        clock = SimulatedClock()
+        latency = LatencyInjector(seed=5, base=0.001)
+        device = FaultyBlockDevice(latency=latency, clock=clock)
+        device.write("a", b"payload")
+        device.read("a")
+        assert clock.now() > 0.0
+        assert device.stats.busy_seconds == pytest.approx(clock.now())
+
+    def test_failed_read_still_costs_time(self):
+        clock = SimulatedClock()
+        latency = LatencyInjector(seed=6, base=0.001)
+        injector = FaultInjector(seed=6, transient_read=1.0)
+        device = FaultyBlockDevice(injector=injector, latency=latency,
+                                   clock=clock)
+        device.write("a", b"payload")
+        before = clock.now()
+        with pytest.raises(TransientIOError):
+            device.read("a")
+        assert clock.now() > before  # the failed I/O still took time
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LatencyInjector(base=-1.0)
+        with pytest.raises(ValueError):
+            LatencyInjector(jitter=1.5)
 
 
 def _insert(tree: LSMTree, rng: random.Random, n: int, acked: dict) -> None:

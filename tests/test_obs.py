@@ -297,9 +297,11 @@ class TestExporters:
 
 class TestIOStats:
     def test_as_dict_is_single_source_of_truth(self):
-        s = IOStats(reads=1, writes=2, bytes_read=3, bytes_written=4)
+        s = IOStats(reads=1, writes=2, bytes_read=3, bytes_written=4,
+                    busy_seconds=0.5)
         assert s.as_dict() == {
             "reads": 1, "writes": 2, "bytes_read": 3, "bytes_written": 4,
+            "busy_seconds": 0.5,
         }
         assert (s + s).as_dict() == {k: 2 * v for k, v in s.as_dict().items()}
         assert (s - s).as_dict() == {k: 0 for k in s.as_dict()}
