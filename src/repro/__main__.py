@@ -19,9 +19,13 @@ trace [--n-gets N] [--fault-rate R]
     Record probe traces through ``LSMTree.get`` under fault injection
     and print the most interesting span tree.
 serve-sim [--seed S] [--n-requests N] [--fault-rate R] [--budget-ms B]
+          [--cache-mb M] [--cache-policy lru|tinylfu] [--negative-cache E]
     Run a calm → storm → recovery chaos schedule through the deadline-
     aware serving layer (docs/robustness.md) and print the per-phase
     outcome table, breaker transitions, and served-latency tail.
+    ``--cache-mb`` interposes the block-cache tier above the breakers
+    (docs/performance.md) and reports its hit rate; ``--negative-cache``
+    memoizes authoritative ABSENT answers at the serving facade.
 
 (For end-to-end demonstrations, run the scripts in ``examples/``.)
 """
@@ -214,7 +218,9 @@ def _cmd_serve_sim(args) -> int:
     )
     with obs.use_registry():
         served, tree, _device, _injector, _latency, _clock = build_stack(
-            seed=args.seed, n_keys=args.n_keys, budget=args.budget_ms / 1000.0
+            seed=args.seed, n_keys=args.n_keys, budget=args.budget_ms / 1000.0,
+            cache_mb=args.cache_mb, cache_policy=args.cache_policy,
+            negative_cache_entries=args.negative_cache,
         )
         report = run_storm(served, phases, seed=args.seed, n_keys=args.n_keys)
         header = (f"{'phase':10s} {'requests':>8s} "
@@ -235,6 +241,17 @@ def _cmd_serve_sim(args) -> int:
               f"({len(served.breaker_device.open_breakers())} not yet recovered)")
         half_open = served.breaker_device.n_transitions(BreakerState.HALF_OPEN)
         print(f"half-open probe rounds: {half_open}")
+        if args.cache_mb > 0:
+            cache = tree.device.cache
+            print(f"block cache ({args.cache_policy}, {args.cache_mb:g} MiB): "
+                  f"hit rate {cache.stats.hit_rate:.3f} "
+                  f"({cache.stats.hits} hits / {cache.stats.requests} reads), "
+                  f"{cache.stats.evictions} evictions, "
+                  f"{cache.stats.invalidations} invalidations")
+        if served.negative_cache is not None:
+            neg = served.negative_cache
+            print(f"negative-lookup cache: {neg.hits} hits, {neg.misses} misses, "
+                  f"{neg.epoch_flushes} epoch flushes")
     return 0 if report.false_negatives == 0 else 1
 
 
@@ -274,6 +291,15 @@ def main(argv: list[str] | None = None) -> int:
                          help="transient-read probability during the storm phase")
     p_serve.add_argument("--budget-ms", type=float, default=50.0,
                          help="per-request deadline budget in simulated ms")
+    p_serve.add_argument("--cache-mb", type=float, default=0.0,
+                         help="block-cache size in simulated MiB "
+                              "(0 disables the cache tier)")
+    p_serve.add_argument("--cache-policy", choices=["lru", "tinylfu"],
+                         default="lru",
+                         help="block-cache eviction/admission policy")
+    p_serve.add_argument("--negative-cache", type=int, default=0,
+                         help="entries in the served negative-lookup cache "
+                              "(0 disables it)")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -295,6 +321,10 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--fault-rate must be in [0, 1]")
         if args.budget_ms <= 0:
             parser.error("--budget-ms must be positive")
+        if args.cache_mb < 0:
+            parser.error("--cache-mb must be non-negative")
+        if args.negative_cache < 0:
+            parser.error("--negative-cache must be non-negative")
         return _cmd_serve_sim(args)
     parser.error(f"unknown command {args.command!r}")
     return 2

@@ -48,13 +48,24 @@ class DictionaryStats:
 
 
 class FilteredDictionary:
-    """A key/value dictionary guarded by a (possibly adaptive) filter."""
+    """A key/value dictionary guarded by a (possibly adaptive) filter.
 
-    def __init__(self, filt, *, device: BlockDevice | None = None):
+    An optional :class:`~repro.cache.NegativeLookupCache` memoizes
+    authoritative ABSENT answers (filter negatives and confirmed false
+    positives), versioned by ``mutation_epoch`` — every :meth:`put` /
+    :meth:`remove` bumps the epoch, so a cached ABSENT can never survive
+    a mutation that might contradict it.  Late (deadline-expired) and
+    degraded MAYBE results never populate it (docs/robustness.md).
+    """
+
+    def __init__(self, filt, *, device: BlockDevice | None = None,
+                 negative_cache: Any = None):
         self._filter = filt
         self._device = device if device is not None else BlockDevice()
         self._adaptive = isinstance(filt, AdaptiveFilter)
         self.stats = DictionaryStats()
+        self.mutation_epoch = 0
+        self.negative_cache = negative_cache
 
     @property
     def filter(self):
@@ -65,10 +76,12 @@ class FilteredDictionary:
         return self._device
 
     def put(self, key: Key, value: Any) -> None:
+        self.mutation_epoch += 1
         self._filter.insert(key)
         self._device.write(("kv", key), value, size=64)
 
     def remove(self, key: Key) -> None:
+        self.mutation_epoch += 1
         self._device.delete(("kv", key))
         self._filter.delete(key)
 
@@ -106,10 +119,20 @@ class FilteredDictionary:
         self.stats.queries += 1
         if deadline is not None and deadline.expired():
             return LookupResult(Answer.MAYBE, complete=False, reason="deadline")
+        if self.negative_cache is not None and self.negative_cache.known_absent(
+            key, self.mutation_epoch
+        ):
+            # A memoized authoritative ABSENT under the current epoch —
+            # no filter probe, no device read, and no adaptive feedback
+            # (the first confirmation already fed the filter).
+            queries.labels(outcome="negative").inc()
+            return LookupResult(Answer.ABSENT)
         with trace("filter.probe"):
             maybe = self._filter.may_contain(key)
         if not maybe:
             queries.labels(outcome="negative").inc()
+            if self.negative_cache is not None:
+                self.negative_cache.record_absent(key, self.mutation_epoch)
             return LookupResult(Answer.ABSENT)
         self.stats.disk_reads += 1
         try:
@@ -145,6 +168,14 @@ class FilteredDictionary:
             # answer can never masquerade as meeting its SLO.
             result.state, result.complete, result.reason = (
                 Answer.MAYBE, False, "deadline")
+        if (
+            self.negative_cache is not None
+            and result.complete
+            and result.state is Answer.ABSENT
+        ):
+            # Only a complete, in-budget ABSENT is cacheable; the late
+            # MAYBE above never reaches this point with ABSENT state.
+            self.negative_cache.record_absent(key, self.mutation_epoch)
         return result
 
     def get_many(self, keys: KeyBatch, default: Any = None,
@@ -171,17 +202,32 @@ class FilteredDictionary:
             labels=("outcome",),
         )
         self.stats.queries += len(key_list)
+        results: list[Any] = [default] * len(key_list)
+        cached_absent: set[int] = set()
+        if self.negative_cache is not None:
+            cached_absent = {
+                i for i, key in enumerate(key_list)
+                if self.negative_cache.known_absent(key, self.mutation_epoch)
+            }
+            if cached_absent:
+                queries.labels(outcome="negative").inc(len(cached_absent))
         probe = getattr(self._filter, "may_contain_many", None)
         if probe is not None:
             maybes = np.asarray(probe(key_list), dtype=bool).tolist()
         else:
             maybes = [self._filter.may_contain(k) for k in key_list]
-        results: list[Any] = [default] * len(key_list)
-        negatives = maybes.count(False)
+        negatives = sum(
+            1 for i, maybe in enumerate(maybes)
+            if not maybe and i not in cached_absent
+        )
         if negatives:
             queries.labels(outcome="negative").inc(negatives)
         for i, (key, maybe) in enumerate(zip(key_list, maybes)):
+            if i in cached_absent:
+                continue
             if not maybe:
+                if self.negative_cache is not None:
+                    self.negative_cache.record_absent(key, self.mutation_epoch)
                 continue
             if deadline is not None and deadline.expired():
                 raise DeadlineExceeded(
@@ -195,6 +241,8 @@ class FilteredDictionary:
                 continue
             self.stats.false_positives += 1
             queries.labels(outcome="false_positive").inc()
+            if self.negative_cache is not None:
+                self.negative_cache.record_absent(key, self.mutation_epoch)
             if self._adaptive:
                 self._filter.report_false_positive(key)
                 self.stats.adaptations_fed_back += 1

@@ -102,6 +102,11 @@ class LSMConfig:
     wal_enabled: bool = True
     retry_attempts: int = 4
     rebuild_filters_on_recovery: bool = True
+    # Cache-tier knobs (docs/performance.md).  All default off, which
+    # preserves the historical whole-run-block I/O model exactly.
+    page_entries: int = 0  # >0: read runs at page granularity
+    charge_filter_reads: bool = False  # probe cost includes the filter block
+    filter_memo_entries: int = 0  # >0: memoize per-run negative verdicts
 
     def __post_init__(self):
         if self.size_ratio < 2:
@@ -112,11 +117,14 @@ class LSMConfig:
             raise ValueError(f"unknown filter policy {self.filter_policy!r}")
         if self.retry_attempts < 1:
             raise ValueError("retry_attempts must be at least 1")
+        if self.page_entries < 0 or self.filter_memo_entries < 0:
+            raise ValueError("page_entries and filter_memo_entries must be >= 0")
 
     _PERSISTED = (
         "size_ratio", "memtable_entries", "compaction", "filter_policy",
         "largest_level_epsilon", "use_maplet", "maplet_capacity", "seed",
         "wal_enabled", "retry_attempts", "rebuild_filters_on_recovery",
+        "page_entries", "charge_filter_reads", "filter_memo_entries",
     )
 
     def to_manifest(self) -> dict:
@@ -165,6 +173,7 @@ class LSMStats:
     range_queries: int = 0
     range_ios: int = 0
     wasted_range_ios: int = 0
+    filter_ios: int = 0  # filter-block reads charged (charge_filter_reads)
     bytes_ingested: int = 0
     compactions: int = 0
     degraded_lookups: int = 0  # probes of runs whose filter was lost
@@ -272,6 +281,15 @@ class LSMTree:
         self._global_range_filter: Any = None
         self._global_dirty = True
         self.recovery_report: RecoveryReport | None = None
+        # Bumped on every write (put/delete); version token for external
+        # negative-lookup caches (repro.cache.NegativeLookupCache) — an
+        # ABSENT recorded under an older epoch is dead on arrival.
+        self.mutation_epoch = 0
+        self.filter_memo = None
+        if self.config.filter_memo_entries > 0:
+            from repro.cache.results import FilterResultCache
+
+            self.filter_memo = FilterResultCache(self.config.filter_memo_entries)
         self._obs: _LSMMetrics | None = None
 
     def _metrics(self) -> _LSMMetrics:
@@ -298,6 +316,7 @@ class LSMTree:
     # -- write path ------------------------------------------------------------
 
     def put(self, key: int, value: Any) -> None:
+        self.mutation_epoch += 1
         if self.config.wal_enabled:
             body = frame(pickle.dumps((key, value)))
             self.device.write(("wal", self._next_wal_seq), body, size=_ENTRY_BYTES)
@@ -341,6 +360,8 @@ class LSMTree:
         self._levels[level].append(run)
         data = frame(pickle.dumps((run.level, run.seq, run.keys, run.values)))
         self.device.write(("run", run.run_id), data, size=len(keys) * _ENTRY_BYTES)
+        for page in range(self._n_pages(run)):
+            self._write_page(run, page)
         if run.filter is not None:
             blob = filter_dumps(run.filter)
             self.device.write(("filter", run.run_id), blob, size=len(blob))
@@ -350,13 +371,49 @@ class LSMTree:
         self._global_dirty = True
         return run
 
+    # -- paging (docs/performance.md) --------------------------------------------
+    #
+    # With ``page_entries > 0`` a run's data is *read* at page granularity
+    # — ``("page", run_id, p)`` blocks of up to page_entries entries, the
+    # sstable-data-block model — so a block cache sized well below the
+    # run can hold the hot pages.  The whole-run block stays the durable
+    # recovery artifact; pages are its read-granularity image.
+
+    def _n_pages(self, run: _Run) -> int:
+        entries = self.config.page_entries
+        if entries <= 0 or not run.keys:
+            return 0
+        return (len(run.keys) + entries - 1) // entries
+
+    def _page_of(self, run: _Run, key: int) -> int:
+        from bisect import bisect_left
+
+        i = min(bisect_left(run.keys, key), len(run.keys) - 1)
+        return i // self.config.page_entries
+
+    def _write_page(self, run: _Run, page: int) -> None:
+        entries = self.config.page_entries
+        lo = page * entries
+        page_keys = run.keys[lo:lo + entries]
+        page_values = run.values[lo:lo + entries]
+        body = frame(pickle.dumps((page_keys, page_values)))
+        self.device.write(
+            ("page", run.run_id, page), body, size=len(page_keys) * _ENTRY_BYTES
+        )
+
     def _retire_run(self, run: _Run) -> None:
         # Deletion is deferred to the next manifest checkpoint so that a
         # crash between compaction and checkpoint cannot orphan the tree:
         # the old manifest still describes blocks that still exist.
         self._pending_retire.append(("run", run.run_id))
+        for page in range(self._n_pages(run)):
+            self._pending_retire.append(("page", run.run_id, page))
         if self.device.exists(("filter", run.run_id)):
             self._pending_retire.append(("filter", run.run_id))
+        if self.filter_memo is not None:
+            # Run ids are never reused, so retired entries are garbage,
+            # not a staleness hazard — this is pure space reclamation.
+            self.filter_memo.drop_run(run.run_id)
         if self._maplet is not None:
             for key in run.keys:
                 self._maplet.delete(key, run.run_id)
@@ -510,8 +567,27 @@ class LSMTree:
         return runs
 
     def _read_run(self, run: _Run, key: int):
-        self._read_block(("run", run.run_id))
+        if self.config.page_entries > 0 and run.keys:
+            self._read_block(("page", run.run_id, self._page_of(run, key)))
+        else:
+            self._read_block(("run", run.run_id))
         return run.get(key)
+
+    def _charge_filter_read(self, run: _Run) -> bool:
+        """Charge the device read consulting this run's filter block costs
+        (``charge_filter_reads``) — the RocksDB reality that filter and
+        index blocks live in the same block cache as data.  Returns False
+        when the block is unreadable: the caller must then probe the run
+        directly, because an unavailable verdict is not a negative one.
+        """
+        if not self.config.charge_filter_reads:
+            return True
+        self.stats.filter_ios += 1
+        try:
+            self._read_block(("filter", run.run_id))
+        except (TransientIOError, CircuitOpenError, KeyError):
+            return False
+        return True
 
     def get(self, key: int, default: Any = None, *, deadline: Any = None) -> Any:
         """Point lookup.  Traced (``lsm.get`` → ``filter.probe`` /
@@ -576,14 +652,32 @@ class LSMTree:
                     self.stats.degraded_lookups += 1
                 elif run.filter is not None:
                     level = str(run.level)
-                    with trace("filter.probe", level=run.level, run=run.run_id) as sp:
-                        maybe = run.filter.may_contain(key)
-                        sp.set_tag("maybe", maybe)
-                    if not maybe:
+                    if self.filter_memo is not None and self.filter_memo.known_negative(
+                        run.run_id, key
+                    ):
+                        # Memoized verdict — runs are immutable, so it is
+                        # exactly what the filter would answer.  Counted as
+                        # a negative probe so FP-rate derivations stay
+                        # memo-agnostic; no filter-block I/O is charged.
                         m.probes.labels(level=level, result="negative").inc()
                         continue
-                    m.probes.labels(level=level, result="positive").inc()
-                    filtered = True
+                    if not self._charge_filter_read(run):
+                        # Filter block unreadable right now: its verdict is
+                        # unavailable, not negative — probe the run.
+                        self.stats.degraded_lookups += 1
+                    else:
+                        with trace(
+                            "filter.probe", level=run.level, run=run.run_id
+                        ) as sp:
+                            maybe = run.filter.may_contain(key)
+                            sp.set_tag("maybe", maybe)
+                        if not maybe:
+                            m.probes.labels(level=level, result="negative").inc()
+                            if self.filter_memo is not None:
+                                self.filter_memo.record_negative(run.run_id, key)
+                            continue
+                        m.probes.labels(level=level, result="positive").inc()
+                        filtered = True
             self.stats.lookup_ios += 1
             try:
                 found, value = self._read_run(run, key)
@@ -713,22 +807,49 @@ class LSMTree:
                 self.stats.degraded_lookups += len(pending)
                 candidates = list(pending)
             elif run.filter is not None:
-                batch = [keys[i] for i in pending]
-                mask = run.filter.may_contain_many(batch)
                 level = str(run.level)
-                positives = int(mask.sum())
-                m.probes.labels(level=level, result="positive").inc(positives)
-                m.probes.labels(level=level, result="negative").inc(
-                    len(batch) - positives
-                )
-                candidates = [i for i, hit in zip(pending, mask.tolist()) if hit]
-                filtered = True
+                batch_idx = pending
+                if self.filter_memo is not None:
+                    memoed = {
+                        i for i in pending
+                        if self.filter_memo.known_negative(run.run_id, keys[i])
+                    }
+                    if memoed:
+                        m.probes.labels(level=level, result="negative").inc(
+                            len(memoed)
+                        )
+                        batch_idx = [i for i in pending if i not in memoed]
+                if not batch_idx:
+                    continue
+                if not self._charge_filter_read(run):
+                    self.stats.degraded_lookups += len(batch_idx)
+                    candidates = batch_idx
+                else:
+                    batch = [keys[i] for i in batch_idx]
+                    mask = run.filter.may_contain_many(batch)
+                    positives = int(mask.sum())
+                    m.probes.labels(level=level, result="positive").inc(positives)
+                    m.probes.labels(level=level, result="negative").inc(
+                        len(batch) - positives
+                    )
+                    candidates = [i for i, hit in zip(batch_idx, mask.tolist()) if hit]
+                    if self.filter_memo is not None:
+                        for i, hit in zip(batch_idx, mask.tolist()):
+                            if not hit:
+                                self.filter_memo.record_negative(run.run_id, keys[i])
+                    filtered = True
             else:
                 candidates = list(pending)
             if not candidates:
                 continue
-            self._read_block(("run", run.run_id))
-            self.stats.lookup_ios += 1
+            if self.config.page_entries > 0 and run.keys:
+                # Page-granular batch read: each needed page exactly once.
+                for page in sorted({self._page_of(run, keys[i]) for i in candidates}):
+                    self._read_block(("page", run.run_id, page))
+                    self.stats.lookup_ios += 1
+            else:
+                self._read_block(("run", run.run_id))
+                self.stats.lookup_ios += 1
             found_here: list[int] = []
             for i in candidates:
                 found, value = run.get(keys[i])
@@ -783,10 +904,19 @@ class LSMTree:
             ):
                 continue
             self.stats.range_ios += 1
-            self._read_block(("run", run.run_id))
             from bisect import bisect_left, bisect_right
 
             i, j = bisect_left(run.keys, lo), bisect_right(run.keys, hi)
+            if self.config.page_entries > 0 and run.keys:
+                # Only the pages overlapping [lo, hi]; an empty overlap
+                # still probes the one page a seek would have landed on.
+                entries = self.config.page_entries
+                first = min(i, len(run.keys) - 1) // entries
+                last = (j - 1) // entries if j > i else first
+                for page in range(first, last + 1):
+                    self._read_block(("page", run.run_id, page))
+            else:
+                self._read_block(("run", run.run_id))
             if i == j:
                 self.stats.wasted_range_ios += 1
             for k in range(i, j):
@@ -892,6 +1022,12 @@ class LSMTree:
             if self._maplet is not None:
                 for key in run.keys:
                     self._maplet.insert(key, run.run_id)
+            # Rematerialize any missing page blocks (first recovery after
+            # enabling paging, or pages lost to faults): the run block is
+            # the durable source of truth, pages are its read image.
+            for page in range(self._n_pages(run)):
+                if not self.device.exists(("page", run.run_id, page)):
+                    self._write_page(run, page)
         self._global_dirty = True
 
     def _restore_filter(self, run: _Run, report: RecoveryReport) -> None:
@@ -921,6 +1057,12 @@ class LSMTree:
             report.filters_degraded += 1
 
     def _replay_wal(self, wal_floor: int, report: RecoveryReport) -> None:
+        # New appends must start at or above the checkpointed floor even
+        # when there is nothing to replay: restarting at 0 would write
+        # ("wal", seq) blocks below the floor, and the *next* recovery
+        # would discard them as already-flushed — losing acknowledged
+        # writes on the second crash.
+        self._next_wal_seq = max(self._next_wal_seq, wal_floor)
         records = sorted(
             address[1]
             for address in self.device.addresses()
@@ -960,6 +1102,15 @@ class LSMTree:
                     )) if repair else None
                 ),
             )
+            for page in range(self._n_pages(run)):
+                self._scrub_block(
+                    report, ("page", run.run_id, page),
+                    check=lambda raw: pickle.loads(unframe(raw)) is not None,
+                    repair_fn=(
+                        (lambda run=run, page=page: self._write_page(run, page))
+                        if repair else None
+                    ),
+                )
             if run.filter is not None or self.device.exists(("filter", run.run_id)):
                 self._scrub_block(
                     report, ("filter", run.run_id),

@@ -335,6 +335,9 @@ class FaultyBlockDevice:
     def addresses(self) -> list[Any]:
         return self.inner.addresses()
 
+    def size_of(self, address: Any) -> int | None:
+        return self.inner.size_of(address)
+
     def __len__(self) -> int:
         return len(self.inner)
 

@@ -148,6 +148,16 @@ class BlockDevice:
         """All live block addresses; metadata, no I/O charged."""
         return list(self._blocks)
 
+    def size_of(self, address: Any) -> int | None:
+        """Declared simulated size of a block (``None`` when absent).
+
+        Metadata only — no I/O is charged; the cache tier uses this to
+        account cached payloads in the same simulated bytes the device
+        itself charges.
+        """
+        block = self._blocks.get(address)
+        return None if block is None else block.size
+
     def __len__(self) -> int:
         return len(self._blocks)
 

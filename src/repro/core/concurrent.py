@@ -37,7 +37,17 @@ class ShardedFilter(DynamicFilter):
         self.seed = seed
         self._shards = [shard_factory(i) for i in range(n_shards)]
         self._locks = [threading.Lock() for _ in range(n_shards)]
-        self.supports_deletes = all(s.supports_deletes for s in self._shards)
+
+    @property
+    def supports_deletes(self) -> bool:
+        """Recomputed from the live shards on every access.
+
+        A shard's delete support can change after construction — e.g. an
+        expandable shard that adds a non-deletable layer when it grows —
+        so caching this at ``__init__`` time would keep advertising
+        deletes the shards can no longer honour.
+        """
+        return all(s.supports_deletes for s in self._shards)
 
     def _shard_of(self, key: Key) -> int:
         return hash_to_range(key, self.n_shards, self.seed ^ 0x5AAD)

@@ -180,8 +180,15 @@ class DynamicCuckooFilter(ExpandableFilter):
         self._n = 0
 
     def _new_link(self, index: int) -> CuckooFilter:
+        # Every link MUST share one hash seed: fingerprints are then
+        # chain-transferable (Chen et al. §III), so a key and a
+        # fingerprint-colliding twin hold one copy each *somewhere* in the
+        # chain and delete() removing any one copy is multiset-safe.  With
+        # per-link seeds, delete(x) can consume y's copy in an earlier link
+        # while x's survives in a later one — a false negative for y.
+        del index
         return CuckooFilter.for_capacity(
-            self.link_capacity, self.epsilon, seed=self.seed + index
+            self.link_capacity, self.epsilon, seed=self.seed
         )
 
     def insert(self, key: Key) -> None:

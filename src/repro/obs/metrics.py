@@ -25,6 +25,7 @@ from __future__ import annotations
 import re
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from typing import Any, Iterator
 
@@ -259,6 +260,37 @@ class Histogram(_Metric):
     @property
     def sum(self) -> float:
         return self._default_child().sum
+
+
+class WindowedRate:
+    """Events per tick over a trailing window — a burst detector.
+
+    Callers :meth:`record` one event at a monotonically non-decreasing
+    *tick* (any counter that advances with normal activity, e.g. a
+    request count) and get back the current rate: events whose tick
+    falls inside the trailing ``window`` ticks, divided by the window
+    length.  The cache tier uses this to flag invalidation storms —
+    invalidations recorded against the request counter spike when a
+    compaction churns addresses faster than lookups consume them.
+    """
+
+    def __init__(self, window: int = 256):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._events: deque[float] = deque()
+
+    def record(self, tick: float) -> float:
+        """Mark one event at *tick*; returns the updated rate."""
+        self._events.append(tick)
+        return self.rate(tick)
+
+    def rate(self, tick: float) -> float:
+        """Events per tick over ``[tick - window, tick]``."""
+        cutoff = tick - self.window
+        while self._events and self._events[0] <= cutoff:
+            self._events.popleft()
+        return len(self._events) / self.window
 
 
 @contextmanager

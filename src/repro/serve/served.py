@@ -77,6 +77,7 @@ class ServedFilter:
         admission: AdmissionController | None = None,
         breaker_device: Any = None,
         default_budget: float = 0.050,
+        negative_cache: Any = None,
     ):
         if not hasattr(backend, "lookup"):
             raise TypeError(
@@ -89,6 +90,12 @@ class ServedFilter:
         self.admission = admission
         self.breaker_device = breaker_device
         self.default_budget = default_budget
+        # Optional repro.cache.NegativeLookupCache: serves memoized
+        # authoritative ABSENTs without a backend scan.  Versioned by the
+        # backend's mutation_epoch, and populated ONLY from SERVED+ABSENT
+        # responses — a degraded, shed, or timed-out MAYBE is not an
+        # answer and must never be frozen into one (docs/robustness.md).
+        self.negative_cache = negative_cache
 
     # -- the serving pipeline ----------------------------------------------------
 
@@ -151,6 +158,18 @@ class ServedFilter:
             self._meter(response)
             return response
 
+        epoch = getattr(self.backend, "mutation_epoch", 0)
+        if self.negative_cache is not None and self.negative_cache.known_absent(
+            key, epoch
+        ):
+            # Memoized authoritative ABSENT under the current epoch: no
+            # backend scan, no device I/O, no breaker traffic.
+            response.answer = Answer.ABSENT
+            response.outcome = ServeOutcome.SERVED
+            response.finished = self.clock.now()
+            self._meter(response)
+            return response
+
         started = self.clock.now()
         with trace("serve.query", key=key, priority=priority.name) as span:
             result = self.backend.lookup(
@@ -171,6 +190,12 @@ class ServedFilter:
         else:
             response.outcome = ServeOutcome.DEGRADED
         response.finished = self.clock.now()
+        if (
+            self.negative_cache is not None
+            and response.outcome is ServeOutcome.SERVED
+            and response.answer is Answer.ABSENT
+        ):
+            self.negative_cache.record_absent(key, epoch)
         self._meter(response)
         return response
 

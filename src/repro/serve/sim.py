@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.apps.lsm import LSMConfig, LSMTree
+from repro.cache import BlockCache, CachedDevice, NegativeLookupCache
 from repro.common.clock import SimulatedClock
 from repro.common.faults import (
     FaultInjector,
@@ -119,12 +120,22 @@ def build_stack(
     breaker_kwargs: dict | None = None,
     admission_config: AdmissionConfig | None = None,
     lsm_config: LSMConfig | None = None,
+    cache_mb: float = 0.0,
+    cache_policy: str = "lru",
+    negative_cache_entries: int = 0,
 ):
     """Assemble a full serving stack over a freshly-loaded LSM-tree.
 
     Keys ``0..n_keys`` are ingested *before* any faults or latency are
     enabled, so the storm's false-negative check has clean ground truth.
     Returns ``(served, tree, device, injector, latency, clock)``.
+
+    With ``cache_mb > 0`` a :class:`~repro.cache.BlockCache` is
+    interposed *above* the circuit breakers: a cache hit skips simulated
+    I/O, injected faults/latency, and breaker traffic entirely (reach it
+    as ``tree.device.cache``).  With ``negative_cache_entries > 0`` the
+    served facade additionally memoizes authoritative ABSENT answers in
+    a :class:`~repro.cache.NegativeLookupCache` (``served.negative_cache``).
     """
     clock = SimulatedClock()
     injector = FaultInjector(seed=seed)
@@ -137,7 +148,13 @@ def build_stack(
     config = lsm_config if lsm_config is not None else LSMConfig(
         memtable_entries=64, retry_attempts=3, seed=seed
     )
-    tree = LSMTree(config, device=breaker_device)
+    device_stack: object = breaker_device
+    if cache_mb > 0:
+        block_cache = BlockCache(
+            int(cache_mb * 1024 * 1024), policy=cache_policy, seed=seed
+        )
+        device_stack = CachedDevice(breaker_device, block_cache)
+    tree = LSMTree(config, device=device_stack)
     # Backoff burns simulated time and is seeded, like everything else.
     tree.retry = RetryPolicy(
         max_attempts=config.retry_attempts,
@@ -155,6 +172,10 @@ def build_stack(
         tree, clock,
         admission=admission, breaker_device=breaker_device,
         default_budget=budget,
+        negative_cache=(
+            NegativeLookupCache(negative_cache_entries)
+            if negative_cache_entries > 0 else None
+        ),
     )
     return served, tree, device, injector, latency, clock
 
@@ -192,6 +213,7 @@ def run_storm(
     for phase in phases:
         injector.transient_read = {
             "run": phase.transient_read,
+            "page": phase.transient_read,
             "filter": phase.transient_read,
             "*": 0.0,
         }

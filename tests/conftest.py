@@ -1,10 +1,32 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and pinned hypothesis profiles for the test suite.
+
+Hypothesis profiles (selected with ``REPRO_HYPOTHESIS_PROFILE``, one env
+var — no other switches):
+
+* ``default`` — what local ``pytest`` runs use: modest example counts,
+  no deadline (simulated-I/O tests are CPU-bound and deadline flake is
+  noise, not signal).
+* ``ci`` — what CI exports: derandomized, so a red CI run replays
+  *identically* with ``REPRO_HYPOTHESIS_PROFILE=ci pytest <failing
+  test>`` — the printed falsifying example is the whole repro.
+* ``thorough`` — 10× examples for manual deep runs.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.workloads.synthetic import disjoint_key_sets
+
+settings.register_profile("default", max_examples=50, deadline=None)
+settings.register_profile(
+    "ci", max_examples=50, deadline=None, derandomize=True, print_blob=True
+)
+settings.register_profile("thorough", max_examples=500, deadline=None)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session")
