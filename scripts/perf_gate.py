@@ -32,6 +32,7 @@ _HERE = os.path.dirname(os.path.abspath(__file__))
 _REPO = os.path.dirname(_HERE)
 DEFAULT_BASELINE = os.path.join(_REPO, "benchmarks", "BENCH_baseline.json")
 DEFAULT_SNAPSHOT = os.path.join(_REPO, "benchmarks", "bench_t4_batch.json")
+DEFAULT_RESHARD = os.path.join(_REPO, "benchmarks", "bench_r3_reshard.json")
 
 
 def compare(baseline: dict, snapshot: dict, tolerance: float):
@@ -50,6 +51,39 @@ def compare(baseline: dict, snapshot: dict, tolerance: float):
             yield family, metric, current, floor, current >= floor
 
 
+def check_reshard(path: str, floor: float = 0.7) -> list[str]:
+    """Warn-only check of the online-reshard snapshot, if present.
+
+    The R3 bench (``bench_r3_reshard.py``) writes steady-state and
+    during-migration goodput for identical storms; a migration that
+    keeps less than *floor* of steady goodput means background batches
+    are stealing foreground capacity.  Missing snapshot = skipped
+    (the bench is optional in most CI lanes).
+    """
+    try:
+        with open(path) as fh:
+            snap = json.load(fh)
+    except OSError:
+        return []
+    except ValueError as exc:
+        return [f"reshard snapshot {path} unreadable: {exc}"]
+    warnings = []
+    steady = snap.get("steady", {}).get("goodput")
+    migration = snap.get("migration", {}).get("goodput")
+    if steady is None or migration is None:
+        return [f"reshard snapshot {path} missing goodput fields"]
+    print(f"perf-gate: reshard goodput steady {steady:.3f} -> "
+          f"migration {migration:.3f} (floor {floor:.0%} of steady)")
+    if migration < floor * steady:
+        warnings.append(
+            f"migration goodput {migration:.3f} < {floor:.0%} of steady "
+            f"{steady:.3f} — background resharding is starving traffic"
+        )
+    if not snap.get("migration", {}).get("completed", True):
+        warnings.append("reshard bench migration did not complete")
+    return warnings
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
@@ -63,7 +97,18 @@ def main(argv: list[str] | None = None) -> int:
         "--strict", action="store_true",
         help="exit nonzero on speedup regressions (default: warn only)",
     )
+    parser.add_argument(
+        "--reshard-snapshot", default=DEFAULT_RESHARD,
+        help="bench_r3_reshard.py snapshot; goodput checks are always "
+             "warn-only and skipped when the file is absent",
+    )
     args = parser.parse_args(argv)
+
+    # Warn-only and independent of the t4 snapshot, so it runs (and
+    # prints) even in CI lanes that never produced the throughput bench.
+    reshard_warnings = check_reshard(args.reshard_snapshot)
+    for warning in reshard_warnings:
+        print(f"perf-gate: WARN (reshard) — {warning}")
 
     try:
         with open(args.baseline) as fh:

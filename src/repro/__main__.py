@@ -20,12 +20,19 @@ trace [--n-gets N] [--fault-rate R]
     and print the most interesting span tree.
 serve-sim [--seed S] [--n-requests N] [--fault-rate R] [--budget-ms B]
           [--cache-mb M] [--cache-policy lru|tinylfu] [--negative-cache E]
+          [--shards K] [--reshard-at REQ] [--reshard-kind split|merge]
+          [--crash-at-step STEP] [--journal-out PATH]
     Run a calm → storm → recovery chaos schedule through the deadline-
     aware serving layer (docs/robustness.md) and print the per-phase
     outcome table, breaker transitions, and served-latency tail.
     ``--cache-mb`` interposes the block-cache tier above the breakers
     (docs/performance.md) and reports its hit rate; ``--negative-cache``
     memoizes authoritative ABSENT answers at the serving facade.
+    ``--shards`` serves from a sharded store instead; ``--reshard-at``
+    splits/merges a shard online mid-storm, ``--crash-at-step`` kills the
+    simulated process at a migration step and recovers, and
+    ``--journal-out`` dumps the migration journal (the reshard-chaos CI
+    job's failure artifact).
 
 (For end-to-end demonstrations, run the scripts in ``examples/``.)
 """
@@ -216,6 +223,8 @@ def _cmd_serve_sim(args) -> int:
                    spike_prob=0.05),
         StormPhase("recovery", n // 3),
     )
+    if args.shards > 0:
+        return _serve_sim_sharded(args, phases)
     with obs.use_registry():
         served, tree, _device, _injector, _latency, _clock = build_stack(
             seed=args.seed, n_keys=args.n_keys, budget=args.budget_ms / 1000.0,
@@ -253,6 +262,78 @@ def _cmd_serve_sim(args) -> int:
             print(f"negative-lookup cache: {neg.hits} hits, {neg.misses} misses, "
                   f"{neg.epoch_flushes} epoch flushes")
     return 0 if report.false_negatives == 0 else 1
+
+
+def _serve_sim_sharded(args, phases) -> int:
+    """serve-sim over a sharded stack, with an optional live migration.
+
+    Exit status is non-zero on any false negative *or* a migration that
+    failed to reach DONE — the two invariants the reshard chaos CI job
+    gates on.
+    """
+    import json
+
+    from repro import obs
+    from repro.serve import ServeOutcome, run_reshard_storm
+
+    with obs.use_registry():
+        storm, reshard, coordinator = run_reshard_storm(
+            seed=args.seed,
+            n_keys=args.n_keys,
+            n_shards=args.shards,
+            phases=phases,
+            reshard_at=args.reshard_at,
+            kind=args.reshard_kind,
+            crash_at_step=args.crash_at_step,
+            budget=args.budget_ms / 1000.0,
+        )
+        header = (f"{'phase':10s} {'requests':>8s} "
+                  + "".join(f"{o.value:>10s}" for o in ServeOutcome)
+                  + f" {'p99 (ms)':>9s}")
+        print(f"sharded storm: {storm.n_requests} requests over {args.shards} "
+              f"shards, fault rate {args.fault_rate}, seed {args.seed}")
+        print(header)
+        print("-" * len(header))
+        for p in storm.phases:
+            print(f"{p.name:10s} {p.n_requests:8d} "
+                  + "".join(f"{p.outcomes[o]:10d}" for o in ServeOutcome)
+                  + f" {1e3 * p.latency_quantile(0.99):9.2f}")
+        print(f"\ngoodput (served/total): {storm.goodput():.3f}")
+        print(f"false negatives: {storm.false_negatives} (must be 0)")
+        if args.reshard_at > 0:
+            print(f"\nmigration ({args.reshard_kind} at request "
+                  f"{args.reshard_at}"
+                  + (f", crash armed at {args.crash_at_step!r}"
+                     if args.crash_at_step else "")
+                  + "):")
+            for t, label in reshard.events:
+                print(f"  t={1e3 * t:9.2f} ms  {label}")
+            print(f"  completed: {reshard.completed}  "
+                  f"crashes: {reshard.crashes}  "
+                  f"recoveries: {reshard.recoveries}")
+            print(f"  keys moved/verified/retired: {reshard.keys_moved}/"
+                  f"{reshard.keys_verified}/{reshard.keys_retired} "
+                  f"(repairs: {reshard.repairs})")
+            print(f"  double-read amplification: "
+                  f"{reshard.double_read_amplification:.3f} "
+                  f"({reshard.double_reads} double reads)")
+            print(f"  migration batches shed: {reshard.pump_sheds}")
+            print(f"  routing epoch: {reshard.final_epoch}, shards: "
+                  f"{list(reshard.final_shards)}")
+        if args.journal_out:
+            doc = {
+                "journal": coordinator.journal_records(),
+                "report": reshard.as_dict(),
+                "seed": args.seed,
+                "crash_at_step": args.crash_at_step,
+            }
+            with open(args.journal_out, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+            print(f"\nmigration journal written to {args.journal_out}")
+    ok = storm.false_negatives == 0 and (
+        args.reshard_at <= 0 or reshard.completed
+    )
+    return 0 if ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -300,6 +381,23 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--negative-cache", type=int, default=0,
                          help="entries in the served negative-lookup cache "
                               "(0 disables it)")
+    p_serve.add_argument("--shards", type=int, default=0,
+                         help="serve from a sharded store with this many "
+                              "shards (0 = the classic single-tree stack)")
+    p_serve.add_argument("--reshard-at", type=int, default=0,
+                         help="plan an online migration at this request "
+                              "number (0 disables; requires --shards)")
+    p_serve.add_argument("--reshard-kind", choices=["split", "merge"],
+                         default="split",
+                         help="split the hottest shard or merge the last "
+                              "shard away")
+    p_serve.add_argument("--crash-at-step", type=str, default=None,
+                         help="arm a one-shot simulated crash at this "
+                              "migration step (e.g. backfill, cutover, "
+                              "retire; see repro.serve.reshard)")
+    p_serve.add_argument("--journal-out", type=str, default=None,
+                         help="write the migration journal + report as "
+                              "JSON to this path (CI failure artifact)")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -325,6 +423,12 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--cache-mb must be non-negative")
         if args.negative_cache < 0:
             parser.error("--negative-cache must be non-negative")
+        if args.shards < 0:
+            parser.error("--shards must be non-negative")
+        if args.reshard_at > 0 and args.shards <= 0:
+            parser.error("--reshard-at requires --shards")
+        if args.crash_at_step and args.reshard_at <= 0:
+            parser.error("--crash-at-step requires --reshard-at")
         return _cmd_serve_sim(args)
     parser.error(f"unknown command {args.command!r}")
     return 2

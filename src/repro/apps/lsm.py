@@ -1189,7 +1189,44 @@ class LSMTree:
             self._wal_pending.append(self._next_wal_seq)
             self._next_wal_seq += 1
 
+    # -- full scans -----------------------------------------------------------------------
+
+    def items(self) -> list[tuple[int, Any]]:
+        """Every live ``(key, value)`` pair, sorted by key.
+
+        Merges runs oldest-first and the memtable last (newest wins),
+        dropping tombstoned keys — the enumeration online resharding
+        uses to backfill a new shard.  Each run block is charged one
+        device read (retry-wrapped, so a transiently faulty device can
+        raise :class:`~repro.common.faults.TransientIOError` after
+        retries and the caller defers the scan).
+        """
+        merged: dict[int, Any] = {}
+        runs = sorted(
+            (run for level in self._levels for run in level),
+            key=lambda run: run.seq,
+        )
+        for run in runs:
+            self._read_block(("run", run.run_id))
+            merged.update(zip(run.keys, run.values))
+        merged.update(self._memtable)
+        return sorted(
+            (k, v) for k, v in merged.items() if v is not TOMBSTONE
+        )
+
     # -- accounting ----------------------------------------------------------------------
+
+    @property
+    def wal_position(self) -> int:
+        """Next WAL sequence number: a *durable*, monotone write cursor.
+
+        Unlike ``mutation_epoch`` (session-local, resets on recovery),
+        this survives crashes — recovery restores it from the manifest's
+        WAL floor plus replayed records — so layers that must never see
+        an epoch repeat across a crash (negative-lookup caches over a
+        recovered store) key on it instead.
+        """
+        return self._next_wal_seq
 
     @property
     def n_entries_on_disk(self) -> int:

@@ -53,6 +53,20 @@ class CircuitOpenError(OSError):
     """
 
 
+class SimulatedCrash(RuntimeError):
+    """A simulated process death, raised by :meth:`FaultInjector.maybe_crash`.
+
+    Deliberately not an :class:`OSError`: no retry or degradation layer
+    may swallow it — it must unwind the whole "process" so a chaos
+    harness can discard all in-memory state and exercise recovery from
+    durable storage alone.  ``step`` names the crash point that fired.
+    """
+
+    def __init__(self, step: str):
+        super().__init__(f"simulated crash at {step!r}")
+        self.step = step
+
+
 # -- fault policy -----------------------------------------------------------------
 
 def address_class(address: Any) -> Any:
@@ -109,6 +123,8 @@ class FaultInjector:
         self.transient_read = transient_read
         self.stats = FaultStats()
         self._rng = random.Random(seed)
+        self._crash_at: str | None = None
+        self.crashes = 0
 
     def _rate(self, spec: float | dict, address: Any) -> float:
         if isinstance(spec, dict):
@@ -144,6 +160,32 @@ class FaultInjector:
         """Keep only a random proper prefix of *payload* (a torn write)."""
         cut = self._rng.randrange(len(payload))
         return payload[:cut]
+
+    # -- crash points ---------------------------------------------------------------
+
+    def crash_after(self, step_name: str) -> None:
+        """Arm a one-shot crash at the named step.
+
+        The next :meth:`maybe_crash` call whose ``step_name`` matches
+        raises :class:`SimulatedCrash` and *disarms* the trigger, so a
+        recovered "process" that replays the same step does not die again
+        — chaos tests kill each migration step exactly once and then
+        watch recovery converge.
+        """
+        self._crash_at = step_name
+
+    @property
+    def armed_crash(self) -> str | None:
+        """The step the next matching :meth:`maybe_crash` will die at."""
+        return self._crash_at
+
+    def maybe_crash(self, step_name: str) -> None:
+        """Crash point: dies iff armed for exactly this *step_name*."""
+        if self._crash_at is not None and self._crash_at == step_name:
+            self._crash_at = None
+            self.crashes += 1
+            _count_fault("crash")
+            raise SimulatedCrash(step_name)
 
 
 # -- latency injection -------------------------------------------------------------

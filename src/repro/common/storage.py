@@ -172,3 +172,89 @@ def _default_size(payload: Any) -> int:
         return max(1, len(payload))
     except TypeError:
         return 1
+
+
+class NamespacedDevice:
+    """A namespace-scoped view of a shared device (stack).
+
+    Maps a tuple address ``(cls, *rest)`` to ``(cls, namespace, *rest)``
+    on the wrapped device — the address *class stays first*, so per-class
+    fault rates (:mod:`repro.common.faults`) and per-address circuit
+    breakers (:mod:`repro.serve.breaker`) keep working unchanged, while
+    many tenants (e.g. the shards of one sharded store) share a single
+    faulty device, latency model, and breaker bank without address
+    collisions.  Non-tuple addresses wrap as ``(address, namespace)``.
+
+    Attribute access falls through to the wrapped device, so stack
+    plumbing like ``.injector`` / ``.latency`` / ``.ruin`` remains
+    reachable (``ruin`` and ``corrupted_addresses`` are translated).
+    """
+
+    def __init__(self, inner: Any, namespace: str):
+        self.inner = inner
+        self.namespace = namespace
+
+    def _wrap(self, address: Any) -> Any:
+        if isinstance(address, tuple) and address:
+            return (address[0], self.namespace) + address[1:]
+        return (address, self.namespace)
+
+    def _owns(self, address: Any) -> bool:
+        return (
+            isinstance(address, tuple)
+            and len(address) >= 2
+            and address[1] == self.namespace
+        )
+
+    def _unwrap(self, address: Any) -> Any:
+        rest = address[2:]
+        return (address[0],) + rest if rest else address[0]
+
+    def write(self, address: Any, payload: Any, size: int | None = None) -> None:
+        self.inner.write(self._wrap(address), payload, size)
+
+    def read(self, address: Any) -> Any:
+        return self.inner.read(self._wrap(address))
+
+    def delete(self, address: Any, missing_ok: bool = True) -> None:
+        self.inner.delete(self._wrap(address), missing_ok)
+
+    def exists(self, address: Any) -> bool:
+        return self.inner.exists(self._wrap(address))
+
+    def addresses(self) -> list[Any]:
+        return [
+            self._unwrap(a) for a in self.inner.addresses() if self._owns(a)
+        ]
+
+    def size_of(self, address: Any) -> int | None:
+        return self.inner.size_of(self._wrap(address))
+
+    def ruin(self, address: Any) -> None:
+        self.inner.ruin(self._wrap(address))
+
+    def corrupted_addresses(self) -> list[Any]:
+        return [
+            self._unwrap(a)
+            for a in self.inner.corrupted_addresses()
+            if self._owns(a)
+        ]
+
+    def __len__(self) -> int:
+        return sum(1 for a in self.inner.addresses() if self._owns(a))
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(
+            self.inner.size_of(a) or 0
+            for a in self.inner.addresses()
+            if self._owns(a)
+        )
+
+    @property
+    def stats(self) -> IOStats:
+        """Shared: all namespaces accrue to the one underlying device."""
+        return self.inner.stats
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)

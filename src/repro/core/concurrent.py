@@ -8,6 +8,14 @@ never contend.  Correctness (linearizable per key) holds for any wrapped
 dynamic filter; throughput scaling is bounded by the GIL in CPython but
 the contention behaviour — the thing the design controls — is real and
 tested.
+
+Routing is pluggable (:mod:`repro.core.routing`): the default
+:class:`~repro.core.routing.HashRouter` reproduces the historical
+hard-coded mapping bit-for-bit, while range / consistent-hash routers
+enable *online resharding* — between :meth:`ShardedFilter.begin_migration`
+and :meth:`ShardedFilter.complete_migration` every write double-applies
+to old and new owners and every probe ORs both, so mid-migration answers
+can be false positives (the filter contract) but never false negatives.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.core.interfaces import DynamicFilter, Key, KeyBatch, as_key_list
-from repro.common.hashing import hash_to_range
+from repro.core.routing import HashRouter, Router
 
 
 class ShardedFilter(DynamicFilter):
@@ -30,13 +38,44 @@ class ShardedFilter(DynamicFilter):
         n_shards: int = 8,
         *,
         seed: int = 0,
+        router: Router | None = None,
     ):
         if n_shards < 1:
             raise ValueError("n_shards must be positive")
-        self.n_shards = n_shards
         self.seed = seed
         self._shards = [shard_factory(i) for i in range(n_shards)]
         self._locks = [threading.Lock() for _ in range(n_shards)]
+        # The default router is bit-identical to the historical inline
+        # hash_to_range(key, n_shards, seed ^ 0x5AAD) mapping.
+        self._router = router if router is not None else HashRouter(
+            n_shards, seed=seed
+        )
+        self._next_router: Router | None = None
+        self._check_router(self._router)
+
+    def _check_router(self, router: Router) -> None:
+        if max(router.shard_ids(), default=0) >= len(self._shards):
+            raise ValueError(
+                "router routes to shard ids beyond the shard list; "
+                "add_shard() the new shards first"
+            )
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def router(self) -> Router:
+        return self._router
+
+    @property
+    def routing_epoch(self) -> int:
+        """Version of the active routing table; bumps at cutover."""
+        return self._router.epoch
+
+    @property
+    def migrating(self) -> bool:
+        return self._next_router is not None
 
     @property
     def supports_deletes(self) -> bool:
@@ -49,36 +88,88 @@ class ShardedFilter(DynamicFilter):
         """
         return all(s.supports_deletes for s in self._shards)
 
+    # -- resharding hooks (repro.serve.reshard drives these) -------------------
+
+    def add_shard(self, shard: DynamicFilter) -> int:
+        """Append a shard (and its lock); returns its id for routers."""
+        self._shards.append(shard)
+        self._locks.append(threading.Lock())
+        return len(self._shards) - 1
+
+    def begin_migration(self, new_router: Router) -> None:
+        """Enter double-apply/double-read mode toward *new_router*.
+
+        Until :meth:`complete_migration`, inserts land in both the old
+        and the new owner and probes OR both — so a concurrent reader can
+        see an extra positive (harmless) but never misses a key.
+        """
+        if self._next_router is not None:
+            raise RuntimeError("a migration is already in progress")
+        self._check_router(new_router)
+        self._next_router = new_router
+
+    def complete_migration(self) -> None:
+        """Cut over: the new router becomes the only routing table."""
+        if self._next_router is None:
+            raise RuntimeError("no migration in progress")
+        self._router = self._next_router
+        self._next_router = None
+
+    def _owners(self, key: Key) -> tuple[int, ...]:
+        primary = self._router.owner(key)
+        if self._next_router is None:
+            return (primary,)
+        secondary = self._next_router.owner(key)
+        return (primary,) if secondary == primary else (primary, secondary)
+
     def _shard_of(self, key: Key) -> int:
-        return hash_to_range(key, self.n_shards, self.seed ^ 0x5AAD)
+        # Compat shim: callers of the old private helper get the router's
+        # primary owner (identical to the historical mapping under the
+        # default HashRouter).
+        return self._router.owner(key)
 
     def insert(self, key: Key) -> None:
-        i = self._shard_of(key)
-        with self._locks[i]:
-            self._shards[i].insert(key)
+        for i in self._owners(key):
+            with self._locks[i]:
+                self._shards[i].insert(key)
 
     def may_contain(self, key: Key) -> bool:
-        i = self._shard_of(key)
-        with self._locks[i]:
-            return self._shards[i].may_contain(key)
+        for i in self._owners(key):
+            with self._locks[i]:
+                if self._shards[i].may_contain(key):
+                    return True
+        return False
 
     def delete(self, key: Key) -> None:
-        i = self._shard_of(key)
-        with self._locks[i]:
-            self._shards[i].delete(key)
+        owners = self._owners(key)
+        primary = owners[0]
+        with self._locks[primary]:
+            self._shards[primary].delete(key)
+        # During a migration the secondary owner may not have seen the
+        # key yet (inserted before double-apply began), and deleting a
+        # never-inserted key is undefined for counting filters — so the
+        # secondary delete is guarded by a containment check.
+        for i in owners[1:]:
+            with self._locks[i]:
+                if self._shards[i].may_contain(key):
+                    self._shards[i].delete(key)
 
     # -- batch API (docs/performance.md) ---------------------------------------
 
     def _group_by_shard(self, keys: KeyBatch) -> dict[int, tuple[list[int], list]]:
-        """Partition a batch: shard index -> (positions, keys), order kept."""
+        """Partition a batch: shard index -> (positions, keys), order kept.
+
+        During a migration a key appears in *both* owners' groups, so the
+        batch paths double-apply/double-read exactly like the scalar ones.
+        """
         groups: dict[int, tuple[list[int], list]] = {}
         for position, key in enumerate(as_key_list(keys)):
-            shard = self._shard_of(key)
-            bucket = groups.get(shard)
-            if bucket is None:
-                bucket = groups[shard] = ([], [])
-            bucket[0].append(position)
-            bucket[1].append(key)
+            for shard in self._owners(key):
+                bucket = groups.get(shard)
+                if bucket is None:
+                    bucket = groups[shard] = ([], [])
+                bucket[0].append(position)
+                bucket[1].append(key)
         return groups
 
     def insert_many(self, keys: KeyBatch) -> None:
@@ -98,12 +189,13 @@ class ShardedFilter(DynamicFilter):
     def may_contain_many(self, keys: KeyBatch) -> np.ndarray:
         """Batch probe: group per shard, one vectorised kernel call (and
         one lock acquisition) per shard, answers scattered back in batch
-        order."""
+        order (OR-combined across owners during a migration)."""
         key_list = as_key_list(keys)
         out = np.zeros(len(key_list), dtype=bool)
         for shard, (positions, shard_keys) in self._group_by_shard(key_list).items():
             with self._locks[shard]:
-                out[positions] = self._shards[shard].may_contain_many(shard_keys)
+                hits = self._shards[shard].may_contain_many(shard_keys)
+            out[positions] |= hits
         return out
 
     def __len__(self) -> int:

@@ -30,6 +30,15 @@ from repro.serve.sim import (
     build_stack,
     run_storm,
 )
+from repro.serve.reshard import (
+    MigrationState,
+    MigrationStep,
+    ReshardCoordinator,
+    ReshardReport,
+    ShardedStore,
+    build_sharded_stack,
+    run_reshard_storm,
+)
 
 __all__ = [
     "Answer",
@@ -54,4 +63,11 @@ __all__ = [
     "StormReport",
     "build_stack",
     "run_storm",
+    "MigrationState",
+    "MigrationStep",
+    "ReshardCoordinator",
+    "ReshardReport",
+    "ShardedStore",
+    "build_sharded_stack",
+    "run_reshard_storm",
 ]

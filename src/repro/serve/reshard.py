@@ -1,0 +1,1170 @@
+"""Online resharding: crash-safe shard split/merge under live traffic.
+
+ROADMAP #4.  A :class:`ShardedStore` spreads keys across per-shard
+LSM-trees that share one (faulty, breaker-guarded) device through
+:class:`~repro.common.storage.NamespacedDevice` views, routed by a
+versioned :class:`~repro.core.routing.Router`.  A
+:class:`ReshardCoordinator` migrates ownership online through a durable
+state machine::
+
+    PLANNED -> DOUBLE_WRITE -> BACKFILL -> VERIFY -> CUTOVER -> RETIRE -> DONE
+
+Every transition and every batch of progress is journaled to the meta
+namespace (``("reshard", seq)`` CRC-framed records) and the routing
+table itself is double-buffered (``("routing", slot)``), so a crash at
+*any* point recovers via :meth:`ShardedStore.recover` +
+:meth:`ReshardCoordinator.recover` and the migration resumes where the
+journal left off — every step is idempotent, so replaying a half-done
+step converges.
+
+Safety invariant (the same one-sided-error contract the rest of the repo
+obeys): while a migration is in flight, writes **double-apply** to the
+old and new owner and reads **double-read** both, answering ABSENT only
+when *both* authoritative scans agree — so mid-migration degradation can
+cost a MAYBE or a duplicate copy, never an ABSENT-while-present.
+
+Migration I/O is background work: :meth:`ReshardCoordinator.pump` runs
+one bounded batch per call, gated through the admission controller at
+``Priority.LOW`` (shed first when the stack is overloaded) and bounded
+by a deadline budget, so a storm slows resharding down instead of
+resharding amplifying the storm.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.apps.lsm import LSMConfig, LSMTree, ScrubReport
+from repro.common.clock import (
+    Answer,
+    Deadline,
+    DeadlineExceeded,
+    LookupResult,
+    SimulatedClock,
+)
+from repro.common.faults import (
+    CircuitOpenError,
+    FaultInjector,
+    FaultyBlockDevice,
+    LatencyInjector,
+    RetryPolicy,
+    SimulatedCrash,
+    TransientIOError,
+)
+from repro.common.storage import NamespacedDevice
+from repro.core.errors import ChecksumError
+from repro.core.routing import (
+    ConsistentHashRouter,
+    HashRangeRouter,
+    Router,
+    router_from_manifest,
+)
+from repro.core.serialize import frame, unframe
+from repro.obs.metrics import default_registry
+from repro.serve.admission import AdmissionConfig, AdmissionController, Priority
+from repro.serve.breaker import BreakerDevice
+from repro.serve.served import ServedFilter
+
+
+class MigrationStep(enum.Enum):
+    PLANNED = "planned"          # plan journaled, target shard exists
+    DOUBLE_WRITE = "double_write"  # writes double-apply, reads double-read
+    BACKFILL = "backfill"        # copy moving keys old owner -> new owner
+    VERIFY = "verify"            # re-scan: every moving key present+equal
+    CUTOVER = "cutover"          # swap routing table, persist new epoch
+    RETIRE = "retire"            # drop moved keys/shard from the old side
+    DONE = "done"
+
+
+# Steps during which both owners are written / consulted.  RETIRE is
+# single-owner on purpose: cutover has landed, the new routing table is
+# authoritative, and the old copies are being deleted.
+_BOTH_OWNER_STEPS = frozenset({
+    MigrationStep.DOUBLE_WRITE, MigrationStep.BACKFILL,
+    MigrationStep.VERIFY, MigrationStep.CUTOVER,
+})
+
+_MISSING = object()  # multi_get sentinel: absent-or-tombstoned
+
+
+@dataclass
+class MigrationState:
+    """One in-flight migration: an (old_router, new_router) pair plus
+    journal-backed progress.  A key must move iff the routers disagree
+    about its owner."""
+
+    kind: str                     # "split" | "merge" | "expand"
+    source: int | None
+    target: int
+    old_router: Router
+    new_router: Router
+    step: MigrationStep = MigrationStep.PLANNED
+    floor: Any = None             # last key durably processed in this step
+    keys_moved: int = 0
+    keys_verified: int = 0
+    keys_retired: int = 0
+    repairs: int = 0
+
+    def moving(self, key: Any) -> bool:
+        return self.old_router.owner(key) != self.new_router.owner(key)
+
+
+class ShardedStore:
+    """Per-shard LSM-trees behind a versioned router, one shared device.
+
+    Exposes the deadline-aware ``lookup(key, deadline=...,
+    degrade_on_error=...)`` contract, so it can sit directly behind a
+    :class:`~repro.serve.served.ServedFilter`.
+    """
+
+    def __init__(
+        self,
+        device: Any,
+        router: Router,
+        *,
+        shard_ids=(),
+        config: LSMConfig | None = None,
+        clock: SimulatedClock | None = None,
+        seed: int = 0,
+        meta_namespace: str = "meta",
+        write_manifest: bool = True,
+    ):
+        self.device = device
+        self.router = router
+        self.clock = clock
+        self.seed = seed
+        self.config = config if config is not None else LSMConfig(
+            memtable_entries=48, retry_attempts=3, seed=seed
+        )
+        self._meta = NamespacedDevice(device, meta_namespace)
+        self._meta_retry = RetryPolicy(max_attempts=4, clock=clock)
+        self.shards: dict[int, LSMTree] = {}
+        self.migration: MigrationState | None = None
+        self._epoch_base = 0
+        self._routing_version = 0
+        # Read-amplification accounting for the double-read window.
+        self.lookups = 0
+        self.owner_reads = 0
+        self.double_reads = 0
+        for sid in shard_ids:
+            self.open_shard(sid)
+        if write_manifest:
+            self._write_routing_manifest()
+
+    @classmethod
+    def create(
+        cls,
+        device: Any,
+        n_shards: int,
+        *,
+        seed: int = 0,
+        config: LSMConfig | None = None,
+        clock: SimulatedClock | None = None,
+    ) -> "ShardedStore":
+        """Fresh store: uniform hash-range routing over ``0..n_shards-1``."""
+        router = HashRangeRouter.uniform(range(n_shards), seed=seed)
+        return cls(
+            device, router, shard_ids=range(n_shards),
+            config=config, clock=clock, seed=seed,
+        )
+
+    # -- shard plumbing ----------------------------------------------------------
+
+    def _shard_device(self, shard_id: int) -> NamespacedDevice:
+        return NamespacedDevice(self.device, f"s{shard_id}")
+
+    def open_shard(self, shard_id: int, *, recover: bool = False) -> LSMTree:
+        """Create (or recover) the LSM-tree backing *shard_id*."""
+        ns = self._shard_device(shard_id)
+        if recover:
+            tree = LSMTree.recover(ns, self.config)
+        else:
+            tree = LSMTree(self.config, device=ns)
+        # Seeded per shard so concurrent retriers stay decorrelated.
+        tree.retry = RetryPolicy(
+            max_attempts=self.config.retry_attempts,
+            jitter="decorrelated",
+            base_backoff=0.0005,
+            max_backoff=0.01,
+            seed=self.seed ^ (0x51ED + shard_id),
+            clock=self.clock,
+        )
+        self.shards[shard_id] = tree
+        return tree
+
+    def drop_shard(self, shard_id: int) -> None:
+        """Remove a retired shard and free its blocks.
+
+        The dropped tree's durable write cursor folds into
+        ``_epoch_base`` so :attr:`mutation_epoch` stays monotone.
+        """
+        tree = self.shards.pop(shard_id)
+        self._epoch_base += tree.wal_position + tree.mutation_epoch + 1
+        ns = tree.device
+        for address in ns.addresses():
+            ns.delete(address)
+
+    def shard_sizes(self) -> dict[int, int]:
+        """Live entry count per shard (memtable + runs)."""
+        return {
+            sid: tree.n_entries_on_disk + len(tree._memtable)
+            for sid, tree in self.shards.items()
+        }
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Version token for negative caches; never repeats across a crash.
+
+        Built from each shard's *durable* WAL cursor (plus the session
+        counter only when the WAL is off), the routing epoch, and a base
+        bumped when shards are dropped — monotone within a session and
+        across recovery, so an ABSENT memoized before a crash can never
+        be replayed against a state that re-reached the same number.
+        """
+        per_shard = sum(
+            t.wal_position if t.config.wal_enabled else t.mutation_epoch
+            for t in self.shards.values()
+        )
+        return self._epoch_base + self.router.epoch + per_shard
+
+    # -- routing manifest (double-buffered, like the LSM manifest) ---------------
+
+    def _routing_payload(self) -> bytes:
+        doc = {
+            "version": self._routing_version,
+            "epoch": self.router.epoch,
+            "router": self.router.to_manifest(),
+            "shards": sorted(self.shards),
+            "epoch_base": self._epoch_base,
+            "config": self.config.to_manifest(),
+        }
+        return frame(json.dumps(doc, sort_keys=True).encode())
+
+    def _write_routing_manifest(self) -> None:
+        """Persist the routing table: new version, alternate slot,
+        read-back verified (a lost or torn write is retried)."""
+        self._routing_version += 1
+        slot = self._routing_version % 2
+        payload = self._routing_payload()
+        last_error: Exception | None = None
+        for _attempt in range(4):
+            self._meta.write(("routing", slot), payload, size=len(payload))
+            try:
+                raw = self._meta.read(("routing", slot))
+                if json.loads(unframe(raw).decode())["version"] == \
+                        self._routing_version:
+                    return
+            except (TransientIOError, ChecksumError, ValueError, KeyError) as e:
+                last_error = e
+        raise TransientIOError(
+            f"routing manifest write could not be verified: {last_error}"
+        )
+
+    @staticmethod
+    def load_routing_manifest(meta: Any) -> dict | None:
+        """Best valid routing manifest across both slots (highest version)."""
+        retry = RetryPolicy(max_attempts=4)
+        best = None
+        for slot in (0, 1):
+            address = ("routing", slot)
+            if not meta.exists(address):
+                continue
+            try:
+                doc = json.loads(unframe(retry.call(meta.read, address)).decode())
+            except (TransientIOError, ChecksumError, ValueError, KeyError):
+                continue
+            if best is None or doc["version"] > best["version"]:
+                best = doc
+        return best
+
+    @classmethod
+    def recover(
+        cls,
+        device: Any,
+        *,
+        clock: SimulatedClock | None = None,
+        config: LSMConfig | None = None,
+        seed: int = 0,
+        meta_namespace: str = "meta",
+    ) -> "ShardedStore":
+        """Reopen a store from its devices alone (post-crash).
+
+        Reads the routing manifest, recovers every listed shard's tree
+        (manifest + runs + WAL replay), and restores the router at its
+        persisted epoch.  Migration state, if any, is reattached by
+        :meth:`ReshardCoordinator.recover` from the journal.
+        """
+        meta = NamespacedDevice(device, meta_namespace)
+        manifest = cls.load_routing_manifest(meta)
+        if manifest is None:
+            raise RuntimeError("no valid routing manifest; cannot recover")
+        if config is None:
+            config = LSMConfig.from_manifest(manifest["config"])
+        router = router_from_manifest(manifest["router"])
+        store = cls(
+            device, router, shard_ids=(), config=config, clock=clock,
+            seed=seed, meta_namespace=meta_namespace, write_manifest=False,
+        )
+        store._epoch_base = manifest["epoch_base"]
+        store._routing_version = manifest["version"]
+        for sid in manifest["shards"]:
+            store.open_shard(sid, recover=True)
+        return store
+
+    # -- reads and writes --------------------------------------------------------
+
+    def _secondary_router(self, mig: MigrationState) -> Router:
+        """The inactive router of the migration pair (pre-cutover: new;
+        post-cutover: old)."""
+        if self.router.epoch == mig.old_router.epoch:
+            return mig.new_router
+        return mig.old_router
+
+    def _owners(self, key: Any) -> tuple[int, ...]:
+        mig = self.migration
+        primary = self.router.owner(key)
+        if mig is None or mig.step not in _BOTH_OWNER_STEPS:
+            return (primary,)
+        secondary = self._secondary_router(mig).owner(key)
+        return (primary,) if secondary == primary else (primary, secondary)
+
+    def put(self, key: Any, value: Any) -> None:
+        for sid in self._owners(key):
+            self.shards[sid].put(key, value)
+
+    def delete(self, key: Any) -> None:
+        for sid in self._owners(key):
+            self.shards[sid].delete(key)
+
+    def lookup(
+        self,
+        key: Any,
+        *,
+        deadline: Deadline | None = None,
+        degrade_on_error: bool = True,
+    ) -> LookupResult:
+        """Tri-state lookup across every current owner of *key*.
+
+        Combine rule (the heart of the no-false-negative argument):
+        an authoritative PRESENT from any owner wins immediately;
+        ABSENT requires *every* consulted owner to be authoritative
+        ABSENT; anything else degrades to MAYBE.  During the double-read
+        window neither owner alone is trusted for absence — the old one
+        may be mid-retirement, the new one mid-backfill.
+        """
+        self.lookups += 1
+        owners = self._owners(key)
+        self.owner_reads += len(owners)
+        if len(owners) > 1:
+            self.double_reads += 1
+            default_registry().counter(
+                "repro_reshard_double_reads_total",
+                "lookups that consulted both the old and new owner",
+            ).inc()
+        results = []
+        for sid in owners:
+            result = self.shards[sid].lookup(
+                key, deadline=deadline, degrade_on_error=degrade_on_error
+            )
+            results.append(result)
+            if result.state is Answer.PRESENT and result.complete:
+                break  # authoritative PRESENT: no need to consult further
+        return self._combine(results)
+
+    @staticmethod
+    def _combine(results: list[LookupResult]) -> LookupResult:
+        probed = sum(r.runs_probed for r in results)
+        skipped = sum(r.runs_skipped for r in results)
+        value = next((r.value for r in results if r.value is not None), None)
+        last = results[-1]
+        if last.state is Answer.PRESENT and last.complete:
+            return LookupResult(
+                Answer.PRESENT, last.value, complete=True,
+                runs_probed=probed, runs_skipped=skipped,
+            )
+        if all(r.complete and r.state is Answer.ABSENT for r in results):
+            return LookupResult(
+                Answer.ABSENT, None, complete=True,
+                runs_probed=probed, runs_skipped=skipped,
+            )
+        reason = next((r.reason for r in results if not r.complete), None)
+        return LookupResult(
+            Answer.MAYBE, value, complete=False, reason=reason,
+            runs_probed=probed, runs_skipped=skipped,
+        )
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        result = self.lookup(key)
+        return result.value if result.state is Answer.PRESENT else default
+
+    # -- maintenance -------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        for tree in self.shards.values():
+            tree.checkpoint()
+
+    def scrub(self, repair: bool = True) -> ScrubReport:
+        """Scrub every shard plus the meta namespace (routing + journal).
+
+        A corrupt routing slot is repaired from the in-memory routing
+        table; a corrupt journal record is dropped (each step record is
+        superseded by its successor and every step is idempotent, so
+        losing one record can only make recovery redo work, never skip
+        it).
+        """
+        report = ScrubReport()
+        for sid in sorted(self.shards):
+            shard_report = self.shards[sid].scrub(repair=repair)
+            report.blocks_checked += shard_report.blocks_checked
+            report.corrupt.extend(shard_report.corrupt)
+            report.repaired.extend(shard_report.repaired)
+            report.unreadable.extend(shard_report.unreadable)
+        meta_addrs = [
+            a for a in self._meta.addresses()
+            if isinstance(a, tuple) and a[0] in ("routing", "reshard")
+        ]
+        for address in sorted(meta_addrs, key=str):
+            report.blocks_checked += 1
+            try:
+                raw = self._meta_retry.call(self._meta.read, address)
+            except TransientIOError:
+                report.unreadable.append(address)
+                continue
+            try:
+                json.loads(unframe(raw).decode())
+                continue
+            except (ChecksumError, ValueError):
+                pass
+            report.corrupt.append(address)
+            if not repair:
+                continue
+            if address[0] == "routing":
+                payload = self._routing_payload()
+                self._meta.write(address, payload, size=len(payload))
+            else:
+                self._meta.delete(address)
+            report.repaired.append(address)
+        return report
+
+
+class ReshardCoordinator:
+    """Drives one migration at a time through the journaled state machine.
+
+    All the work happens in :meth:`pump` — one bounded, admission-gated,
+    deadline-budgeted batch per call — so the caller (a serving loop, the
+    storm driver) interleaves migration I/O with live traffic at
+    background priority.  ``injector.maybe_crash("reshard.<step>")``
+    runs after each step transition's journal write, which is where
+    chaos tests inject process death.
+    """
+
+    def __init__(
+        self,
+        store: ShardedStore,
+        *,
+        clock: SimulatedClock | None = None,
+        admission: AdmissionController | None = None,
+        injector: FaultInjector | None = None,
+        batch_keys: int = 8,
+        pump_budget: float = 0.001,
+    ):
+        self.store = store
+        self.clock = clock if clock is not None else store.clock
+        self.admission = admission
+        self.injector = injector
+        self.batch_keys = batch_keys
+        self.pump_budget = pump_budget
+        self._commits_since_journal = 0
+        self.pumps = 0
+        self.sheds = 0
+        self.io_deferred = 0
+        self.last_migration: MigrationState | None = None
+        self._moving: list[Any] | None = None  # keys left in the current scan
+        self._journal_seq = 1 + max(
+            (a[1] for a in store._meta.addresses()
+             if isinstance(a, tuple) and a[0] == "reshard"),
+            default=-1,
+        )
+
+    # -- planning ----------------------------------------------------------------
+
+    def plan_split(
+        self, source: int | None = None, target: int | None = None
+    ) -> MigrationState:
+        """Split the hottest (or given) shard's range onto a new shard."""
+        router = self._require_idle()
+        if not isinstance(router, HashRangeRouter):
+            raise TypeError("split requires a HashRangeRouter")
+        if source is None:
+            sizes = self.store.shard_sizes()
+            source = max(sorted(sizes), key=sizes.__getitem__)
+        if target is None:
+            target = max(self.store.shards) + 1
+        new_router = router.split(source, target)
+        mig = MigrationState("split", source, target, router, new_router)
+        self._install_plan(mig, open_target=True)
+        return mig
+
+    def plan_merge(self, source: int, dest: int) -> MigrationState:
+        """Merge *source*'s ranges into *dest* and retire the shard."""
+        router = self._require_idle()
+        if not isinstance(router, HashRangeRouter):
+            raise TypeError("merge requires a HashRangeRouter")
+        new_router = router.merge(source, dest)
+        mig = MigrationState("merge", source, dest, router, new_router)
+        self._install_plan(mig, open_target=False)
+        return mig
+
+    def plan_expand(self, target: int | None = None) -> MigrationState:
+        """Add a shard to a consistent-hash ring (~1/n of keys move)."""
+        router = self._require_idle()
+        if not isinstance(router, ConsistentHashRouter):
+            raise TypeError("expand requires a ConsistentHashRouter")
+        if target is None:
+            target = max(self.store.shards) + 1
+        new_router = router.with_shard(target)
+        mig = MigrationState("expand", None, target, router, new_router)
+        self._install_plan(mig, open_target=True)
+        return mig
+
+    def _require_idle(self) -> Router:
+        if self.store.migration is not None:
+            raise RuntimeError("a migration is already in progress")
+        return self.store.router
+
+    def _install_plan(self, mig: MigrationState, *, open_target: bool) -> None:
+        # A fresh migration supersedes the previous journal wholesale.
+        for address in list(self.store._meta.addresses()):
+            if isinstance(address, tuple) and address[0] == "reshard":
+                self.store._meta.delete(address)
+        self._journal_seq = 0
+        self._journal({
+            "kind": "plan",
+            "step": MigrationStep.PLANNED.value,
+            "plan": {
+                "kind": mig.kind,
+                "source": mig.source,
+                "target": mig.target,
+                "old_router": mig.old_router.to_manifest(),
+                "new_router": mig.new_router.to_manifest(),
+            },
+        }, verified=True)
+        if open_target and mig.target not in self.store.shards:
+            self.store.open_shard(mig.target)
+        # Persist the widened shard list so post-crash recovery opens the
+        # target's tree before the journal is even consulted.
+        self.store._write_routing_manifest()
+        self.store.migration = mig
+        self._moving = None
+        self._commits_since_journal = 0
+        self._meter_step(MigrationStep.PLANNED)
+        self._crash_point("reshard.planned")
+
+    # -- the pump ----------------------------------------------------------------
+
+    def pump(
+        self,
+        arrival: float | None = None,
+        *,
+        budget: float | None = None,
+        force: bool = False,
+    ) -> bool:
+        """Run one background batch of migration work.
+
+        Returns True iff work was attempted.  With an admission
+        controller attached, the batch is gated at ``Priority.LOW`` —
+        under overload, migration is shed before any foreground request.
+        With *arrival* (the next foreground request's arrival time), the
+        batch additionally requires at least one pump budget of idle
+        headroom before that arrival, so migration I/O soaks up idle
+        gaps instead of queueing ahead of live traffic.  ``force=True``
+        (post-storm drain) skips both gates.
+        """
+        mig = self.store.migration
+        if mig is None:
+            return False
+        self.pumps += 1
+        if self.admission is not None and not force:
+            now = self.clock.now() if self.clock else 0.0
+            decision = self.admission.admit(
+                now if arrival is None else arrival, Priority.LOW
+            )
+            lag_cap = self.pump_budget if budget is None else budget
+            # A batch can overshoot its budget by one flush/compaction
+            # burst, so demand a few budgets of idle runway, not one.
+            runway = 3 * lag_cap
+            headroom = (arrival - now) if arrival is not None else runway
+            if not decision.admitted or decision.queue_delay > lag_cap \
+                    or headroom < runway:
+                self.sheds += 1
+                default_registry().counter(
+                    "repro_reshard_pump_sheds_total",
+                    "migration batches shed by admission control",
+                ).inc()
+                return False
+        deadline = None
+        if self.clock is not None:
+            deadline = Deadline.after(
+                self.clock, self.pump_budget if budget is None else budget
+            )
+        try:
+            self._advance(mig, deadline)
+        except (TransientIOError, CircuitOpenError, DeadlineExceeded):
+            # Transient device trouble, a tripped breaker, or budget
+            # exhausted: everything is idempotent, so just resume on the
+            # next pump.
+            self.io_deferred += 1
+        return True
+
+    def _advance(self, mig: MigrationState, deadline: Deadline | None) -> None:
+        step = mig.step
+        if step is MigrationStep.PLANNED:
+            self._enter(mig, MigrationStep.DOUBLE_WRITE)
+        elif step is MigrationStep.DOUBLE_WRITE:
+            # Nothing to wait for in the simulation (no in-flight ops);
+            # the step exists so recovery lands writes in both owners
+            # before any copying starts.
+            self._enter(mig, MigrationStep.BACKFILL)
+        elif step is MigrationStep.BACKFILL:
+            self._pump_backfill(mig, deadline)
+        elif step is MigrationStep.VERIFY:
+            self._pump_verify(mig, deadline)
+        elif step is MigrationStep.CUTOVER:
+            self._do_cutover(mig)
+        elif step is MigrationStep.RETIRE:
+            self._pump_retire(mig, deadline)
+
+    def _enter(self, mig: MigrationState, step: MigrationStep) -> None:
+        mig.step = step
+        mig.floor = None
+        self._moving = None
+        self._commits_since_journal = 0
+        self._journal({"kind": "step", "step": step.value})
+        self._meter_step(step)
+        self._crash_point(f"reshard.{step.value}")
+
+    # -- scan-step machinery -----------------------------------------------------
+
+    def _donor_shards(self, mig: MigrationState) -> list[int]:
+        if mig.kind in ("split", "merge"):
+            return [mig.source]
+        return [s for s in sorted(self.store.shards) if s != mig.target]
+
+    def _snapshot_moving(self, mig: MigrationState) -> list[Any]:
+        """Keys that still need processing in the current scan step.
+
+        Recomputed from the live trees after a crash; the journaled
+        ``floor`` skips work that is already durable.  Keys written after
+        DOUBLE_WRITE began are double-applied on arrival, so re-copying
+        any of them is merely redundant, never wrong.
+        """
+        keys: set[Any] = set()
+        for sid in self._donor_shards(mig):
+            for key, _value in self.store.shards[sid].items():
+                if mig.old_router.owner(key) == sid and mig.moving(key):
+                    keys.add(key)
+        ordered = sorted(keys)
+        if mig.floor is not None:
+            ordered = [k for k in ordered if k > mig.floor]
+        return ordered
+
+    def _next_batch(self, mig: MigrationState) -> list[Any]:
+        if self._moving is None:
+            self._moving = self._snapshot_moving(mig)
+        return self._moving[: self.batch_keys]
+
+    def _commit_batch(self, mig: MigrationState, batch: list[Any]) -> None:
+        mig.floor = batch[-1]
+        del self._moving[: len(batch)]
+        # The floor is a pure optimisation (everything below it is merely
+        # re-done on replay), so it is journaled every few batches — one
+        # meta write per batch would double the pump's I/O bill.
+        self._commits_since_journal += 1
+        if not self._moving or self._commits_since_journal >= 4:
+            self._journal({
+                "kind": "progress", "step": mig.step.value, "floor": mig.floor,
+            })
+            self._commits_since_journal = 0
+
+    def _pump_backfill(self, mig: MigrationState, deadline) -> None:
+        batch = self._next_batch(mig)
+        if not batch:
+            self._enter(mig, MigrationStep.VERIFY)
+            return
+        source_values = self._batched_get(mig, batch, deadline, donors=True)
+        moved = done = 0
+        for key, value in zip(batch, source_values):
+            # Budget check between keys: always make progress on at least
+            # one, then yield the rest of the batch to the next pump.
+            if done and deadline is not None and deadline.expired():
+                break
+            done += 1
+            if value is _MISSING:
+                continue  # deleted while we scanned; tombstone double-applied
+            self.store.shards[mig.new_router.owner(key)].put(key, value)
+            moved += 1
+        mig.keys_moved += moved
+        self._meter_keys("moved", moved)
+        self._commit_batch(mig, batch[:done])
+        self._crash_point("reshard.backfill:batch")
+
+    def _pump_verify(self, mig: MigrationState, deadline) -> None:
+        batch = self._next_batch(mig)
+        if not batch:
+            self._enter(mig, MigrationStep.CUTOVER)
+            return
+        source_values = self._batched_get(mig, batch, deadline, donors=True)
+        target_values = self._batched_get(mig, batch, deadline, donors=False)
+        repaired = 0
+        for key, src, dst in zip(batch, source_values, target_values):
+            if src is _MISSING:
+                continue  # concurrently deleted: nothing to verify
+            if dst is _MISSING or dst != src:
+                # The copy is missing or stale — re-copy before cutover.
+                self.store.shards[mig.new_router.owner(key)].put(key, src)
+                repaired += 1
+        mig.keys_verified += len(batch)
+        mig.repairs += repaired
+        self._meter_keys("verified", len(batch))
+        if repaired:
+            self._meter_keys("repaired", repaired)
+        self._commit_batch(mig, batch)
+
+    def _batched_get(self, mig, batch, deadline, *, donors: bool) -> list[Any]:
+        """Current values for *batch*, read from the old owners
+        (``donors=True``) or the new owners, grouped one ``multi_get``
+        per shard."""
+        router = mig.old_router if donors else mig.new_router
+        by_shard: dict[int, list[int]] = {}
+        for i, key in enumerate(batch):
+            by_shard.setdefault(router.owner(key), []).append(i)
+        out: list[Any] = [_MISSING] * len(batch)
+        for sid, indices in by_shard.items():
+            values = self.store.shards[sid].multi_get(
+                [batch[i] for i in indices], default=_MISSING, deadline=deadline
+            )
+            for i, value in zip(indices, values):
+                out[i] = value
+        return out
+
+    def _do_cutover(self, mig: MigrationState) -> None:
+        """Swap the routing table and persist it.
+
+        The cutover step was already journaled on entry, so a crash
+        between the swap and the manifest write replays this method —
+        both actions are idempotent.  Only a VERIFY-complete migration
+        reaches here, which is why cutover is safe: the new owner has
+        been proven to hold every moving key.
+        """
+        self.store.router = mig.new_router
+        self.store._write_routing_manifest()
+        default_registry().counter(
+            "repro_reshard_cutover_epoch_bumps_total",
+            "routing-table epoch bumps at cutover",
+        ).inc()
+        self._crash_point("reshard.cutover:manifest")
+        self._enter(mig, MigrationStep.RETIRE)
+
+    def _pump_retire(self, mig: MigrationState, deadline) -> None:
+        if mig.kind == "merge":
+            # The whole source shard moved: drop it and its blocks.
+            if mig.source in self.store.shards:
+                self.store.drop_shard(mig.source)
+                self.store._write_routing_manifest()
+            self._finish(mig)
+            return
+        batch = self._next_batch(mig)
+        if not batch:
+            self._finish(mig)
+            return
+        done = 0
+        for key in batch:
+            if done and deadline is not None and deadline.expired():
+                break
+            self.store.shards[mig.old_router.owner(key)].delete(key)
+            done += 1
+        mig.keys_retired += done
+        self._meter_keys("retired", done)
+        self._commit_batch(mig, batch[:done])
+
+    def _finish(self, mig: MigrationState) -> None:
+        mig.step = MigrationStep.DONE
+        self._journal({"kind": "step", "step": MigrationStep.DONE.value})
+        self._meter_step(MigrationStep.DONE)
+        self.last_migration = mig
+        self.store.migration = None
+        self._moving = None
+        self._crash_point("reshard.done")
+
+    # -- journal -----------------------------------------------------------------
+
+    def _journal(self, record: dict, *, verified: bool = False) -> None:
+        record = dict(record)
+        record["seq"] = self._journal_seq
+        record["t"] = self.clock.now() if self.clock else 0.0
+        payload = frame(json.dumps(record, sort_keys=True).encode())
+        address = ("reshard", self._journal_seq)
+        meta = self.store._meta
+        if verified:
+            for _attempt in range(4):
+                meta.write(address, payload, size=len(payload))
+                try:
+                    if unframe(meta.read(address)):
+                        break
+                except (TransientIOError, ChecksumError, KeyError):
+                    continue
+        else:
+            meta.write(address, payload, size=len(payload))
+        self._journal_seq += 1
+
+    def journal_records(self) -> list[dict]:
+        """Every readable journal record, in sequence order (corrupt or
+        unreadable records are skipped — recovery tolerates holes)."""
+        meta = self.store._meta
+        records = []
+        addresses = sorted(
+            a for a in meta.addresses()
+            if isinstance(a, tuple) and a[0] == "reshard"
+        )
+        for address in addresses:
+            try:
+                raw = self.store._meta_retry.call(meta.read, address)
+                records.append(json.loads(unframe(raw).decode()))
+            except (TransientIOError, ChecksumError, ValueError, KeyError):
+                continue
+        return records
+
+    @classmethod
+    def recover(
+        cls,
+        store: ShardedStore,
+        *,
+        clock: SimulatedClock | None = None,
+        admission: AdmissionController | None = None,
+        injector: FaultInjector | None = None,
+        **kwargs,
+    ) -> "ReshardCoordinator":
+        """Rebuild the coordinator (and the store's migration state) from
+        the journal; the resumed step re-executes idempotently."""
+        coord = cls(
+            store, clock=clock if clock is not None else store.clock,
+            admission=admission, injector=injector, **kwargs,
+        )
+        records = coord.journal_records()
+        plan = next((r for r in records if r["kind"] == "plan"), None)
+        if plan is None:
+            return coord
+        step = MigrationStep.PLANNED
+        floor = None
+        for record in records:
+            if record["kind"] == "step":
+                step = MigrationStep(record["step"])
+                floor = None
+            elif record["kind"] == "progress" and record["step"] == step.value:
+                floor = record["floor"]
+        if step is MigrationStep.DONE:
+            return coord
+        spec = plan["plan"]
+        mig = MigrationState(
+            spec["kind"],
+            spec["source"],
+            spec["target"],
+            router_from_manifest(spec["old_router"]),
+            router_from_manifest(spec["new_router"]),
+            step=step,
+            floor=floor,
+        )
+        # A lost manifest write could leave the target tree unopened.
+        if mig.kind != "merge" and mig.target not in store.shards:
+            store.open_shard(mig.target, recover=True)
+        if step is MigrationStep.CUTOVER:
+            # The journal says cutover began; the manifest says whether it
+            # landed.  Either way re-running _do_cutover converges.
+            store.router = (
+                mig.new_router
+                if store.router.epoch >= mig.new_router.epoch
+                else mig.old_router
+            )
+        store.migration = mig
+        return coord
+
+    # -- crash points and telemetry ----------------------------------------------
+
+    def _crash_point(self, name: str) -> None:
+        if self.injector is not None:
+            self.injector.maybe_crash(name)
+
+    def _meter_step(self, step: MigrationStep) -> None:
+        default_registry().counter(
+            "repro_reshard_steps_total",
+            "migration state-machine transitions, by step entered",
+            labels=("step",),
+        ).labels(step=step.value).inc()
+
+    def _meter_keys(self, action: str, n: int) -> None:
+        if n:
+            default_registry().counter(
+                "repro_reshard_keys_total",
+                "keys processed by migration, by action",
+                labels=("action",),
+            ).labels(action=action).inc(n)
+
+    def publish_gauges(self) -> None:
+        """Point-in-time migration gauges for ``python -m repro stats``."""
+        registry = default_registry()
+        mig = self.store.migration
+        registry.gauge(
+            "repro_reshard_migration_active", "1 while a migration is in flight"
+        ).set(0 if mig is None else 1)
+        registry.gauge(
+            "repro_reshard_routing_epoch", "active routing-table epoch"
+        ).set(self.store.router.epoch)
+        remaining = len(self._moving) if self._moving is not None else 0
+        registry.gauge(
+            "repro_reshard_scan_remaining",
+            "keys left in the current migration scan step",
+        ).set(remaining)
+
+
+# -- storm integration -------------------------------------------------------------
+
+
+def build_sharded_stack(
+    seed: int = 0,
+    n_keys: int = 2_000,
+    n_shards: int = 4,
+    *,
+    budget: float = 0.050,
+    base_latency: float = 0.0008,
+    breaker_kwargs: dict | None = None,
+    admission_config: AdmissionConfig | None = None,
+    lsm_config: LSMConfig | None = None,
+):
+    """The sharded sibling of :func:`repro.serve.sim.build_stack`.
+
+    One clock, one fault/latency injector pair, one faulty device, and
+    one breaker bank are shared by every shard (each shard's tree sees a
+    :class:`~repro.common.storage.NamespacedDevice` view), so storms and
+    breakers behave exactly as in the single-tree stack.  Returns
+    ``(served, store, coordinator, device, injector, latency, clock)``.
+    """
+    clock = SimulatedClock()
+    injector = FaultInjector(seed=seed)
+    latency = LatencyInjector(seed=seed, base=base_latency)
+    latency.slowdown = 0.0  # load phase is free: storms start at t=0
+    device = FaultyBlockDevice(injector=injector, latency=latency, clock=clock)
+    breaker_device = BreakerDevice(
+        device, clock, **(breaker_kwargs or {"cooldown": 0.05, "min_samples": 4})
+    )
+    config = lsm_config if lsm_config is not None else LSMConfig(
+        memtable_entries=48, retry_attempts=3, seed=seed
+    )
+    store = ShardedStore.create(
+        breaker_device, n_shards, seed=seed, config=config, clock=clock
+    )
+    for key in range(n_keys):
+        store.put(key, f"value-{key}")
+    latency.slowdown = 1.0
+    admission = AdmissionController(clock, admission_config)
+    served = ServedFilter(
+        store, clock,
+        admission=admission, breaker_device=breaker_device,
+        default_budget=budget,
+    )
+    coordinator = ReshardCoordinator(
+        store, clock=clock, admission=admission, injector=injector
+    )
+    return served, store, coordinator, device, injector, latency, clock
+
+
+@dataclass
+class ReshardReport:
+    """What one resharded storm did: step timeline, crashes, amplification."""
+
+    events: list[tuple[float, str]] = field(default_factory=list)
+    crashes: int = 0
+    recoveries: int = 0
+    completed: bool = False
+    keys_moved: int = 0
+    keys_verified: int = 0
+    keys_retired: int = 0
+    repairs: int = 0
+    lookups: int = 0
+    double_reads: int = 0
+    owner_reads: int = 0
+    pump_sheds: int = 0
+    final_epoch: int = 0
+    final_shards: tuple[int, ...] = ()
+
+    @property
+    def double_read_amplification(self) -> float:
+        """Owner scans per lookup (1.0 outside the double-read window)."""
+        return self.owner_reads / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "events": [[t, label] for t, label in self.events],
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "completed": self.completed,
+            "keys_moved": self.keys_moved,
+            "keys_verified": self.keys_verified,
+            "keys_retired": self.keys_retired,
+            "repairs": self.repairs,
+            "lookups": self.lookups,
+            "double_reads": self.double_reads,
+            "double_read_amplification": self.double_read_amplification,
+            "pump_sheds": self.pump_sheds,
+            "final_epoch": self.final_epoch,
+            "final_shards": list(self.final_shards),
+        }
+
+
+def run_reshard_storm(
+    seed: int = 0,
+    n_keys: int = 2_000,
+    n_shards: int = 4,
+    *,
+    phases=None,
+    reshard_at: int = 250,
+    kind: str = "split",
+    source: int | None = None,
+    crash_at_step: str | None = None,
+    drain: bool = True,
+    write_fraction: float = 0.0,
+    **stack_kwargs,
+):
+    """A chaos storm with a live migration (and optionally a crash) in it.
+
+    Runs :func:`repro.serve.sim.run_storm` over a sharded stack; at
+    request *reshard_at* a split/merge is planned, and every subsequent
+    request pumps one background batch.  With *crash_at_step* set, a
+    one-shot :class:`~repro.common.faults.SimulatedCrash` is armed at
+    ``reshard.<step>``; when it fires, all in-memory state is discarded
+    and the stack is recovered from the devices (store + coordinator +
+    scrub), after which the storm — and the migration — continue.
+
+    *write_fraction* mixes seeded foreground updates of loaded keys into
+    the drive (the write load that makes resharding necessary in the
+    first place), so steady-vs-migration comparisons see the same lumpy
+    flush/compaction behaviour in both runs.
+    Returns ``(storm_report, reshard_report, coordinator)``.
+    """
+    from repro.serve.sim import CALM_STORM_RECOVERY, run_storm
+
+    served, store, coordinator, device, injector, latency, clock = (
+        build_sharded_stack(seed, n_keys, n_shards, **stack_kwargs)
+    )
+    phases = CALM_STORM_RECOVERY if phases is None else phases
+    report = ReshardReport()
+    state = {
+        "store": store, "coord": coordinator, "requests": 0, "planned": False
+    }
+
+    def _absorb_counters(old_store: ShardedStore) -> None:
+        report.lookups += old_store.lookups
+        report.owner_reads += old_store.owner_reads
+        report.double_reads += old_store.double_reads
+
+    def _absorb_migration(mig: MigrationState | None) -> None:
+        if mig is not None:
+            report.keys_moved += mig.keys_moved
+            report.keys_verified += mig.keys_verified
+            report.keys_retired += mig.keys_retired
+            report.repairs += mig.repairs
+
+    def _recover(where: str) -> None:
+        report.crashes += 1
+        old_store = state["store"]
+        _absorb_counters(old_store)
+        _absorb_migration(old_store.migration)
+        new_store = ShardedStore.recover(
+            old_store.device, clock=clock, config=old_store.config, seed=seed
+        )
+        new_coord = ReshardCoordinator.recover(
+            new_store, clock=clock,
+            admission=served.admission, injector=injector,
+        )
+        new_store.scrub(repair=True)
+        served.backend = new_store
+        state["store"], state["coord"] = new_store, new_coord
+        report.recoveries += 1
+        report.events.append((clock.now() if clock else 0.0, f"recovered:{where}"))
+
+    wrng = random.Random(seed ^ 0x3317E)
+
+    def ticker(arrival: float) -> None:
+        state["requests"] += 1
+        if write_fraction and wrng.random() < write_fraction:
+            key = wrng.randrange(n_keys)
+            state["writes"] = state.get("writes", 0) + 1
+            try:
+                state["store"].put(key, f"value-{key}-u{state['writes']}")
+            except (TransientIOError, CircuitOpenError):
+                pass  # an update lost to a storm; the key stays present
+        # reshard_at <= 0 disables the migration (plain sharded storm).
+        if reshard_at > 0 and not state["planned"] \
+                and state["requests"] >= reshard_at:
+            state["planned"] = True
+            if crash_at_step:
+                injector.crash_after(f"reshard.{crash_at_step}")
+            try:
+                if kind == "merge":
+                    shards = sorted(state["store"].shards)
+                    state["coord"].plan_merge(
+                        shards[-1] if source is None else source, shards[0]
+                    )
+                else:
+                    state["coord"].plan_split(source=source)
+            except SimulatedCrash as crash:
+                report.events.append((clock.now(), f"crash:{crash.step}"))
+                _recover(crash.step)
+            else:
+                report.events.append((clock.now(), "planned"))
+            return
+        mig = state["store"].migration
+        if mig is None:
+            return
+        before = mig.step
+        try:
+            state["coord"].pump(arrival)
+        except SimulatedCrash as crash:
+            report.events.append((clock.now(), f"crash:{crash.step}"))
+            _recover(crash.step)
+            return
+        after = state["store"].migration.step if state["store"].migration \
+            else MigrationStep.DONE
+        if after is not before:
+            report.events.append((clock.now(), after.value))
+
+    storm = run_storm(
+        served, phases, seed=seed, n_keys=n_keys, ticker=ticker
+    )
+
+    if drain:
+        guard = 0
+        while state["store"].migration is not None and guard < 50_000:
+            guard += 1
+            try:
+                state["coord"].pump(budget=0.050, force=True)
+            except SimulatedCrash as crash:
+                report.events.append((clock.now(), f"crash:{crash.step}"))
+                _recover(f"drain:{crash.step}")
+
+    final_store, final_coord = state["store"], state["coord"]
+    _absorb_counters(final_store)
+    _absorb_migration(
+        final_store.migration
+        if final_store.migration is not None
+        else final_coord.last_migration
+    )
+    report.completed = final_store.migration is None and state["planned"]
+    report.pump_sheds = final_coord.sheds
+    report.final_epoch = final_store.router.epoch
+    report.final_shards = tuple(sorted(final_store.shards))
+    final_coord.publish_gauges()
+    return storm, report, final_coord

@@ -195,6 +195,7 @@ def run_storm(
     n_keys: int = 2_000,
     present_fraction: float = 0.5,
     priority_weights: tuple[float, float, float] = (0.2, 0.6, 0.2),
+    ticker=None,
 ) -> StormReport:
     """Drive a phase schedule through *served* and audit the answers.
 
@@ -202,6 +203,11 @@ def run_storm(
     *present_fraction*, else a key guaranteed absent.  A false negative
     is a present key answered ABSENT — the invariant the one-sided-error
     contract says can never happen, shed or storm or not.
+
+    *ticker*, if given, is called as ``ticker(arrival)`` before every
+    request — the hook background work (e.g. online-resharding pumps,
+    :mod:`repro.serve.reshard`) uses to interleave with live traffic.
+    It may swap ``served.backend`` (crash recovery does).
     """
     rng = random.Random(seed ^ 0x570F)
     injector = served.breaker_device.injector
@@ -223,6 +229,8 @@ def run_storm(
         report.phases.append(phase_report)
         for _ in range(phase.n_requests):
             arrival += rng.expovariate(1.0 / phase.mean_interarrival)
+            if ticker is not None:
+                ticker(arrival)
             present = rng.random() < present_fraction
             key = rng.randrange(n_keys) if present else n_keys + rng.randrange(n_keys)
             priority = rng.choices(priorities, weights=priority_weights)[0]

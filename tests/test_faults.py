@@ -19,6 +19,7 @@ from repro.common.faults import (
     FaultyBlockDevice,
     LatencyInjector,
     RetryPolicy,
+    SimulatedCrash,
     TransientIOError,
 )
 
@@ -58,6 +59,53 @@ class TestFaultInjector:
         torn = inj.tear_payload(payload)
         assert len(torn) < len(payload)
         assert payload.startswith(torn)
+
+
+class TestCrashPoints:
+    """``crash_after`` arms exactly one simulated crash at a named step."""
+
+    def test_unarmed_is_a_no_op(self):
+        inj = FaultInjector(seed=0)
+        inj.maybe_crash("reshard.cutover")  # nothing armed: no raise
+        assert inj.crashes == 0
+        assert inj.armed_crash is None
+
+    def test_fires_only_at_matching_step(self):
+        inj = FaultInjector(seed=0)
+        inj.crash_after("reshard.backfill")
+        assert inj.armed_crash == "reshard.backfill"
+        inj.maybe_crash("reshard.planned")  # non-matching step passes through
+        inj.maybe_crash("reshard.double_write")
+        with pytest.raises(SimulatedCrash) as exc:
+            inj.maybe_crash("reshard.backfill")
+        assert exc.value.step == "reshard.backfill"
+
+    def test_one_shot_disarms_after_firing(self):
+        inj = FaultInjector(seed=0)
+        inj.crash_after("reshard.verify")
+        with pytest.raises(SimulatedCrash):
+            inj.maybe_crash("reshard.verify")
+        assert inj.armed_crash is None
+        inj.maybe_crash("reshard.verify")  # second pass survives
+        assert inj.crashes == 1
+
+    def test_crashes_counted(self):
+        inj = FaultInjector(seed=0)
+        inj.crash_after("step.a")
+        with pytest.raises(SimulatedCrash):
+            inj.maybe_crash("step.a")
+        inj.crash_after("step.b")
+        with pytest.raises(SimulatedCrash):
+            inj.maybe_crash("step.b")
+        assert inj.crashes == 2
+
+    def test_rearming_replaces_previous_step(self):
+        inj = FaultInjector(seed=0)
+        inj.crash_after("old.step")
+        inj.crash_after("new.step")
+        inj.maybe_crash("old.step")  # superseded arming never fires
+        with pytest.raises(SimulatedCrash):
+            inj.maybe_crash("new.step")
 
 
 class TestFaultyBlockDevice:

@@ -1,0 +1,586 @@
+"""Online-resharding tests: routers, the sharded store, and crash chaos.
+
+The contract under test (docs/robustness.md): a live split/merge walks a
+journaled state machine (PLANNED → DOUBLE_WRITE → BACKFILL → VERIFY →
+CUTOVER → RETIRE → DONE) whose every step is idempotent, so a crash at
+*any* point recovers from the devices alone and converges — exactly-once
+ownership after retirement, and never a false negative along the way.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.common.clock import Answer, SimulatedClock
+from repro.common.faults import FaultInjector, SimulatedCrash
+from repro.common.hashing import hash_to_range
+from repro.common.storage import BlockDevice, NamespacedDevice
+from repro.core.concurrent import ShardedFilter
+from repro.core.routing import (
+    SHARD_SALT,
+    ConsistentHashRouter,
+    HashRangeRouter,
+    HashRouter,
+    ModuloRouter,
+    router_from_manifest,
+)
+from repro.filters.bloom import BloomFilter
+from repro.obs import use_registry
+from repro.serve import (
+    MigrationStep,
+    ReshardCoordinator,
+    ShardedStore,
+    StormPhase,
+    run_reshard_storm,
+)
+
+KEYS = [f"key-{i}" for i in range(400)] + list(range(400))
+
+
+# -- routers -----------------------------------------------------------------------
+
+
+class TestHashRouter:
+    def test_matches_legacy_sharded_filter_mapping(self):
+        router = HashRouter(8, seed=3)
+        for key in KEYS:
+            assert router.owner(key) == hash_to_range(key, 8, 3 ^ SHARD_SALT)
+
+    def test_manifest_round_trip(self):
+        router = HashRouter(5, seed=7, epoch=2)
+        clone = router_from_manifest(router.to_manifest())
+        assert clone.epoch == 2
+        assert clone.shard_ids() == router.shard_ids()
+        assert all(clone.owner(k) == router.owner(k) for k in KEYS)
+
+
+class TestModuloRouter:
+    def test_construction_warns_deprecated(self):
+        with pytest.warns(DeprecationWarning):
+            ModuloRouter(4, seed=1)
+
+    def test_rehydrating_a_manifest_does_not_rewarn(self):
+        with pytest.warns(DeprecationWarning):
+            manifest = ModuloRouter(4, seed=1).to_manifest()
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            clone = router_from_manifest(manifest)
+        assert clone.shard_ids() == (0, 1, 2, 3)
+
+
+class TestHashRangeRouter:
+    def test_uniform_covers_all_shards(self):
+        router = HashRangeRouter.uniform(range(4), seed=0)
+        owners = {router.owner(k) for k in KEYS}
+        assert owners == {0, 1, 2, 3}
+        assert router.shard_ids() == (0, 1, 2, 3)
+
+    def test_split_moves_a_strict_subset_to_the_target(self):
+        old = HashRangeRouter.uniform(range(3), seed=0)
+        new = old.split(1, 3)
+        assert new.epoch == old.epoch + 1
+        moved = [k for k in KEYS if old.owner(k) != new.owner(k)]
+        assert moved  # something actually moves
+        for key in moved:
+            assert old.owner(key) == 1
+            assert new.owner(key) == 3
+        # Keys outside the split range are untouched.
+        for key in KEYS:
+            if old.owner(key) != 1:
+                assert new.owner(key) == old.owner(key)
+
+    def test_merge_reassigns_source_to_dest_and_retires_it(self):
+        old = HashRangeRouter.uniform(range(3), seed=0)
+        new = old.merge(2, 0)
+        assert new.epoch == old.epoch + 1
+        assert 2 not in new.shard_ids()
+        for key in KEYS:
+            expected = 0 if old.owner(key) == 2 else old.owner(key)
+            assert new.owner(key) == expected
+
+    def test_manifest_round_trip(self):
+        router = HashRangeRouter.uniform(range(4), seed=9).split(0, 4)
+        clone = router_from_manifest(router.to_manifest())
+        assert clone.epoch == router.epoch
+        assert all(clone.owner(k) == router.owner(k) for k in KEYS)
+
+
+class TestConsistentHashRouter:
+    def test_deterministic_and_covering(self):
+        a = ConsistentHashRouter(range(4), seed=5)
+        b = ConsistentHashRouter(range(4), seed=5)
+        assert all(a.owner(k) == b.owner(k) for k in KEYS)
+        assert {a.owner(k) for k in KEYS} == {0, 1, 2, 3}
+
+    def test_adding_a_shard_moves_only_keys_to_that_shard(self):
+        old = ConsistentHashRouter(range(4), seed=5)
+        new = old.with_shard(4)
+        assert new.epoch == old.epoch + 1
+        moved = [k for k in KEYS if old.owner(k) != new.owner(k)]
+        assert moved
+        assert all(new.owner(k) == 4 for k in moved)
+        # Bounded churn: a ring move is ~1/n of the space, not a reshuffle.
+        assert len(moved) < len(KEYS) / 2
+
+    def test_removal_inverts_addition(self):
+        old = ConsistentHashRouter(range(4), seed=5)
+        back = old.with_shard(4).without_shard(4)
+        assert all(back.owner(k) == old.owner(k) for k in KEYS)
+
+    def test_manifest_round_trip(self):
+        router = ConsistentHashRouter(range(3), seed=2).with_shard(3)
+        clone = router_from_manifest(router.to_manifest())
+        assert clone.epoch == router.epoch
+        assert all(clone.owner(k) == router.owner(k) for k in KEYS)
+
+
+# -- ShardedFilter routing hooks ---------------------------------------------------
+
+
+class TestShardedFilterRouting:
+    def _filter(self, n_shards=4, **kwargs):
+        return ShardedFilter(
+            lambda i: BloomFilter(256, 0.01), n_shards, seed=1, **kwargs
+        )
+
+    def test_default_router_matches_historical_mapping(self):
+        sf = self._filter()
+        for key in KEYS:
+            assert sf._shard_of(key) == hash_to_range(key, 4, 1 ^ SHARD_SALT)
+
+    def test_insert_and_query_under_custom_router(self):
+        sf = self._filter(router=HashRangeRouter.uniform(range(4), seed=1))
+        for key in range(100):
+            sf.insert(key)
+        assert all(sf.may_contain(key) for key in range(100))
+
+    def test_migration_double_applies_and_double_reads(self):
+        sf = self._filter()
+        target = sf.add_shard(BloomFilter(256, 0.01))
+        assert target == 4
+        for key in range(50):
+            sf.insert(key)
+        new_router = HashRouter(5, seed=1, epoch=sf.routing_epoch + 1)
+        sf.begin_migration(new_router)
+        assert sf.migrating
+        # Pre-migration keys stay visible through the old owner...
+        assert all(sf.may_contain(key) for key in range(50))
+        for key in range(50, 100):
+            sf.insert(key)
+        sf.complete_migration()
+        assert not sf.migrating
+        assert sf.routing_epoch == new_router.epoch
+        # ...and double-applied keys survive the cutover.
+        assert all(sf.may_contain(key) for key in range(50, 100))
+
+    def test_router_beyond_shard_list_rejected(self):
+        with pytest.raises(ValueError):
+            self._filter(n_shards=2, router=HashRouter(5, seed=1))
+
+    def test_double_migration_rejected(self):
+        sf = self._filter()
+        sf.begin_migration(HashRouter(4, seed=1, epoch=1))
+        with pytest.raises(RuntimeError):
+            sf.begin_migration(HashRouter(4, seed=1, epoch=2))
+
+
+# -- ShardedStore ------------------------------------------------------------------
+
+
+def _fresh_store(n_shards=3, seed=0):
+    device = BlockDevice()
+    clock = SimulatedClock()
+    store = ShardedStore.create(device, n_shards, seed=seed, clock=clock)
+    return device, clock, store
+
+
+class TestShardedStore:
+    def test_put_get_routes_by_range(self):
+        _device, _clock, store = _fresh_store()
+        for key in range(200):
+            store.put(key, f"v{key}")
+        assert all(store.get(key) == f"v{key}" for key in range(200))
+        assert store.get(9_999, "missing") == "missing"
+        assert sum(store.shard_sizes().values()) == 200
+
+    def test_lookup_absent_is_authoritative_when_idle(self):
+        _device, _clock, store = _fresh_store()
+        store.put(1, "one")
+        result = store.lookup(5_000)
+        assert result.state is Answer.ABSENT and result.complete
+
+    def test_recover_from_device_alone(self):
+        device, clock, store = _fresh_store()
+        for key in range(120):
+            store.put(key, f"v{key}")
+        # No graceful shutdown: reopen purely from the blocks.
+        revived = ShardedStore.recover(device, clock=SimulatedClock(), seed=0)
+        assert revived.router.epoch == store.router.epoch
+        assert sorted(revived.shards) == sorted(store.shards)
+        assert all(revived.get(key) == f"v{key}" for key in range(120))
+
+    def test_mutation_epoch_monotone_across_recovery(self):
+        device, clock, store = _fresh_store()
+        for key in range(60):
+            store.put(key, f"v{key}")
+        before = store.mutation_epoch
+        revived = ShardedStore.recover(device, clock=SimulatedClock(), seed=0)
+        assert revived.mutation_epoch >= before
+        revived.put(60, "v60")
+        assert revived.mutation_epoch > before
+
+    def test_double_reads_counted_only_during_migration(self):
+        device, clock, store = _fresh_store()
+        for key in range(100):
+            store.put(key, f"v{key}")
+        store.lookup(1)
+        assert store.double_reads == 0
+        coordinator = ReshardCoordinator(store, clock=clock)
+        coordinator.plan_split()
+        coordinator.pump(force=True)  # -> DOUBLE_WRITE
+        mig = store.migration
+        moving = [k for k in range(100) if mig.moving(k)]
+        assert moving
+        before = store.double_reads
+        for key in moving:
+            result = store.lookup(key)
+            assert result.state is not Answer.ABSENT
+        assert store.double_reads == before + len(moving)
+
+
+# -- the coordinator's state machine -----------------------------------------------
+
+
+def _pump_to_done(coordinator, store, limit=10_000):
+    guard = 0
+    while store.migration is not None:
+        guard += 1
+        assert guard < limit, f"migration stuck at {store.migration.step}"
+        coordinator.pump(budget=0.5, force=True)
+
+
+def _ownership_census(store):
+    """Map key -> list of shards whose *data* holds it."""
+    census = {}
+    for sid, tree in store.shards.items():
+        for key, _value in tree.items():
+            census.setdefault(key, []).append(sid)
+    return census
+
+
+class TestCoordinator:
+    N = 300
+
+    def _loaded(self, seed=0, n_shards=3):
+        device, clock, store = _fresh_store(n_shards, seed=seed)
+        for key in range(self.N):
+            store.put(key, f"v{key}")
+        coordinator = ReshardCoordinator(store, clock=clock)
+        return device, clock, store, coordinator
+
+    def test_split_walks_every_step_to_done(self):
+        _device, _clock, store, coordinator = self._loaded()
+        old_epoch = store.router.epoch
+        mig = coordinator.plan_split()
+        seen = {mig.step}
+        guard = 0
+        while store.migration is not None:
+            guard += 1
+            assert guard < 10_000
+            coordinator.pump(budget=0.5, force=True)
+            if store.migration is not None:
+                seen.add(store.migration.step)
+        assert seen >= {
+            MigrationStep.PLANNED, MigrationStep.DOUBLE_WRITE,
+            MigrationStep.BACKFILL, MigrationStep.VERIFY,
+            MigrationStep.CUTOVER, MigrationStep.RETIRE,
+        }
+        assert store.router.epoch == old_epoch + 1
+        assert coordinator.last_migration.step is MigrationStep.DONE
+
+    def test_split_ends_with_exactly_once_ownership(self):
+        _device, _clock, store, coordinator = self._loaded()
+        coordinator.plan_split()
+        _pump_to_done(coordinator, store)
+        census = _ownership_census(store)
+        assert sorted(census) == list(range(self.N))
+        for key, owners in census.items():
+            assert owners == [store.router.owner(key)], key
+        assert all(store.get(key) == f"v{key}" for key in range(self.N))
+
+    def test_merge_retires_the_source_shard(self):
+        _device, _clock, store, coordinator = self._loaded()
+        victim = max(store.shards)
+        coordinator.plan_merge(victim, min(store.shards))
+        _pump_to_done(coordinator, store)
+        assert victim not in store.shards
+        assert victim not in store.router.shard_ids()
+        assert all(store.get(key) == f"v{key}" for key in range(self.N))
+
+    def test_writes_during_migration_survive_cutover(self):
+        _device, clock, store, _fast = self._loaded()
+        # Small batches so the migration spans all 50 interleaved writes.
+        coordinator = ReshardCoordinator(store, clock=clock, batch_keys=4)
+        coordinator.plan_split()
+        extra = range(self.N, self.N + 50)
+        pending = iter(extra)
+        guard = 0
+        while store.migration is not None:
+            guard += 1
+            assert guard < 10_000
+            coordinator.pump(budget=0.5, force=True)
+            key = next(pending, None)
+            if key is not None:
+                store.put(key, f"live-{key}")
+        for key in pending:  # anything the migration outpaced
+            store.put(key, f"live-{key}")
+        store.delete(0)
+        assert all(store.get(key) == f"live-{key}" for key in extra)
+        assert store.get(0, "gone") == "gone"
+
+    def test_journal_records_plan_then_steps(self):
+        _device, _clock, store, coordinator = self._loaded()
+        coordinator.plan_split()
+        _pump_to_done(coordinator, store)
+        records = coordinator.journal_records()
+        assert records[0]["kind"] == "plan"
+        steps = [r["step"] for r in records if r["kind"] == "step"]
+        assert steps[-1] == MigrationStep.DONE.value
+        assert [r["seq"] for r in records] == sorted(r["seq"] for r in records)
+
+    def test_second_plan_while_migrating_rejected(self):
+        _device, _clock, store, coordinator = self._loaded()
+        coordinator.plan_split()
+        with pytest.raises(RuntimeError):
+            coordinator.plan_split()
+
+
+# -- crash chaos: every crash point, recover from the devices alone ----------------
+
+
+CRASH_STEPS = [
+    "planned",
+    "double_write",
+    "backfill",
+    "backfill:batch",
+    "verify",
+    "cutover",
+    "cutover:manifest",
+    "retire",
+    "done",
+]
+CHAOS_SEEDS = [int(os.environ.get("REPRO_CHAOS_SEED", "0")) + i for i in range(2)]
+
+
+def _crash_recover(device, seed):
+    """What a process restart does: rebuild everything from blocks."""
+    store = ShardedStore.recover(device, clock=SimulatedClock(), seed=seed)
+    coordinator = ReshardCoordinator.recover(store, injector=None)
+    store.scrub(repair=True)
+    return store, coordinator
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+@pytest.mark.parametrize("crash_step", CRASH_STEPS)
+class TestCrashAtEveryStep:
+    N = 250
+
+    def test_recovery_converges_with_exactly_once_ownership(self, crash_step, seed):
+        device = BlockDevice()
+        clock = SimulatedClock()
+        store = ShardedStore.create(device, 3, seed=seed, clock=clock)
+        for key in range(self.N):
+            store.put(key, f"v{key}")
+        injector = FaultInjector(seed=seed)
+        injector.crash_after(f"reshard.{crash_step}")
+        coordinator = ReshardCoordinator(store, clock=clock, injector=injector)
+        crashed = False
+        try:
+            coordinator.plan_split()
+            _pump_to_done(coordinator, store)
+        except SimulatedCrash as crash:
+            crashed = True
+            assert crash.step == f"reshard.{crash_step}"
+            store, coordinator = _crash_recover(device, seed)
+        assert crashed, f"crash point reshard.{crash_step} never fired"
+        # Mid-crash state must never answer a stored key ABSENT.
+        for key in range(0, self.N, 17):
+            assert store.lookup(key).state is not Answer.ABSENT
+        _pump_to_done(coordinator, store)
+        assert store.migration is None
+        census = _ownership_census(store)
+        assert sorted(census) == list(range(self.N))
+        for key, owners in census.items():
+            assert owners == [store.router.owner(key)], key
+        assert all(store.get(key) == f"v{key}" for key in range(self.N))
+
+    def test_double_crash_still_converges(self, crash_step, seed):
+        device = BlockDevice()
+        clock = SimulatedClock()
+        store = ShardedStore.create(device, 3, seed=seed, clock=clock)
+        for key in range(self.N):
+            store.put(key, f"v{key}")
+        injector = FaultInjector(seed=seed)
+        injector.crash_after(f"reshard.{crash_step}")
+        coordinator = ReshardCoordinator(store, clock=clock, injector=injector)
+        try:
+            coordinator.plan_split()
+            _pump_to_done(coordinator, store)
+        except SimulatedCrash:
+            store, coordinator = _crash_recover(device, seed)
+            # Crash again immediately after the resumed step's journal write.
+            injector2 = FaultInjector(seed=seed + 1)
+            if store.migration is not None:
+                injector2.crash_after(f"reshard.{store.migration.step.value}")
+            coordinator.injector = injector2
+            try:
+                _pump_to_done(coordinator, store)
+            except SimulatedCrash:
+                store, coordinator = _crash_recover(device, seed)
+        _pump_to_done(coordinator, store)
+        assert all(store.get(key) == f"v{key}" for key in range(self.N))
+        census = _ownership_census(store)
+        for key, owners in census.items():
+            assert owners == [store.router.owner(key)], key
+
+
+# -- hypothesis: convergence under arbitrary crash/write interleavings -------------
+
+
+class ReshardMachine(RuleBasedStateMachine):
+    """Random puts/deletes/pumps/crashes; durable state must track the model.
+
+    Every put/delete lands in the WAL before it is acknowledged, so the
+    model is exact even across a crash: a lookup may degrade to MAYBE,
+    but a stored key is never ABSENT and ``get`` never returns a stale
+    or resurrected value once the migration completes.
+    """
+
+    KEYSPACE = 24
+
+    def __init__(self):
+        super().__init__()
+        self.device = BlockDevice()
+        self.clock = SimulatedClock()
+        self.store = ShardedStore.create(self.device, 2, seed=7, clock=self.clock)
+        self.coordinator = ReshardCoordinator(self.store, clock=self.clock)
+        self.model: dict[int, str] = {}
+        self.writes = 0
+        self.splits = 0
+
+    @rule(key=st.integers(0, KEYSPACE - 1), value=st.text("ab", max_size=3))
+    def put(self, key, value):
+        self.writes += 1
+        stamp = f"{value}#{self.writes}"
+        self.store.put(key, stamp)
+        self.model[key] = stamp
+
+    @rule(key=st.integers(0, KEYSPACE - 1))
+    def delete(self, key):
+        self.store.delete(key)
+        self.model.pop(key, None)
+
+    @precondition(lambda self: self.store.migration is None and self.splits < 2)
+    @rule()
+    def plan_split(self):
+        self.splits += 1
+        self.coordinator.plan_split()
+
+    @precondition(lambda self: self.store.migration is not None)
+    @rule()
+    def pump(self):
+        self.coordinator.pump(budget=0.5, force=True)
+
+    @precondition(lambda self: self.store.migration is not None)
+    @rule()
+    def crash_and_recover(self):
+        # Drop all in-memory state; the journal + WAL must reconstruct it.
+        self.store = ShardedStore.recover(
+            self.device, clock=SimulatedClock(), seed=7
+        )
+        self.coordinator = ReshardCoordinator.recover(self.store)
+        self.store.scrub(repair=True)
+
+    @invariant()
+    def stored_keys_never_absent(self):
+        for key, value in self.model.items():
+            result = self.store.lookup(key)
+            assert result.state is not Answer.ABSENT
+            if result.state is Answer.PRESENT:
+                assert result.value == value
+
+    def teardown(self):
+        guard = 0
+        while self.store.migration is not None and guard < 10_000:
+            guard += 1
+            self.coordinator.pump(budget=0.5, force=True)
+        assert self.store.migration is None
+        for key in range(self.KEYSPACE):
+            assert self.store.get(key) == self.model.get(key)
+        census = _ownership_census(self.store)
+        assert sorted(census) == sorted(self.model)
+        for key, owners in census.items():
+            assert owners == [self.store.router.owner(key)], key
+
+
+TestReshardStateMachine = ReshardMachine.TestCase
+TestReshardStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+
+# -- storm integration -------------------------------------------------------------
+
+
+SHORT_STORM = (
+    StormPhase("calm", 120, transient_read=0.0),
+    StormPhase("storm", 150, transient_read=0.5, slowdown=3.0, spike_prob=0.05),
+    StormPhase("recovery", 120, transient_read=0.0),
+)
+
+
+class TestReshardStorm:
+    def _run(self, **kwargs):
+        with use_registry():
+            return run_reshard_storm(
+                seed=kwargs.pop("seed", 0), n_keys=600, n_shards=3,
+                phases=SHORT_STORM, reshard_at=80, **kwargs,
+            )
+
+    def test_migration_completes_with_zero_false_negatives(self):
+        storm, reshard, _coordinator = self._run()
+        assert storm.false_negatives == 0
+        assert reshard.completed
+        assert reshard.final_epoch == 1
+        assert reshard.keys_moved > 0
+        assert reshard.keys_verified >= reshard.keys_moved
+
+    def test_crash_mid_backfill_recovers_and_completes(self):
+        storm, reshard, _coordinator = self._run(crash_at_step="backfill:batch")
+        assert storm.false_negatives == 0
+        assert reshard.crashes == 1
+        assert reshard.recoveries == 1
+        assert reshard.completed
+
+    def test_merge_storm_drops_a_shard(self):
+        storm, reshard, coordinator = self._run(kind="merge")
+        assert storm.false_negatives == 0
+        assert reshard.completed
+        assert len(reshard.final_shards) == 2
+
+    def test_storm_is_reproducible(self):
+        _s1, r1, _c1 = self._run(seed=3)
+        _s2, r2, _c2 = self._run(seed=3)
+        assert r1.as_dict() == r2.as_dict()
