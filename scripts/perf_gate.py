@@ -95,20 +95,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--strict", action="store_true",
-        help="exit nonzero on speedup regressions (default: warn only)",
+        help="exit nonzero on speedup regressions and reshard goodput "
+             "warnings (default: warn only)",
     )
     parser.add_argument(
         "--reshard-snapshot", default=DEFAULT_RESHARD,
-        help="bench_r3_reshard.py snapshot; goodput checks are always "
-             "warn-only and skipped when the file is absent",
+        help="bench_r3_reshard.py snapshot; goodput checks warn by "
+             "default (fail under --strict) and are skipped when the "
+             "file is absent",
     )
     args = parser.parse_args(argv)
 
-    # Warn-only and independent of the t4 snapshot, so it runs (and
-    # prints) even in CI lanes that never produced the throughput bench.
+    # Independent of the t4 snapshot, so it runs (and prints) even in CI
+    # lanes that never produced the throughput bench.  The goodput gate
+    # is a same-run ratio (migration/steady on one machine), so unlike
+    # absolute throughput it is shared-runner-safe to enforce strictly.
     reshard_warnings = check_reshard(args.reshard_snapshot)
+    label = "FAIL" if args.strict else "WARN"
     for warning in reshard_warnings:
-        print(f"perf-gate: WARN (reshard) — {warning}")
+        print(f"perf-gate: {label} (reshard) — {warning}")
 
     try:
         with open(args.baseline) as fh:
@@ -149,6 +154,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"perf-gate: WARN (shared-runner mode, not failing) — {names}")
     else:
         print("perf-gate: all families within tolerance")
+    if args.strict and reshard_warnings:
+        print(f"perf-gate: FAIL — {len(reshard_warnings)} reshard goodput "
+              "check(s) failed")
+        return 1
     return 0
 
 

@@ -22,6 +22,8 @@ serve-sim [--seed S] [--n-requests N] [--fault-rate R] [--budget-ms B]
           [--cache-mb M] [--cache-policy lru|tinylfu] [--negative-cache E]
           [--shards K] [--reshard-at REQ] [--reshard-kind split|merge]
           [--crash-at-step STEP] [--journal-out PATH]
+          [--replicas R] [--repl-quorum Q] [--kill-replica-at REQ]
+          [--heal-at REQ] [--wipe-replica]
     Run a calm → storm → recovery chaos schedule through the deadline-
     aware serving layer (docs/robustness.md) and print the per-phase
     outcome table, breaker transitions, and served-latency tail.
@@ -32,7 +34,13 @@ serve-sim [--seed S] [--n-requests N] [--fault-rate R] [--budget-ms B]
     splits/merges a shard online mid-storm, ``--crash-at-step`` kills the
     simulated process at a migration step and recovers, and
     ``--journal-out`` dumps the migration journal (the reshard-chaos CI
-    job's failure artifact).
+    job's failure artifact).  ``--replicas`` serves from an R-way
+    replicated fleet instead (quorum reads, hinted handoff, anti-entropy
+    — docs/robustness.md); ``--kill-replica-at``/``--heal-at`` take one
+    replica down and back mid-storm, ``--wipe-replica`` destroys its
+    data too, and ``--crash-at-step`` also accepts handoff-replay steps
+    (``handoff.replay``, ``handoff.replay:applied``,
+    ``handoff.replay:batch``) for the replica-chaos CI job.
 
 (For end-to-end demonstrations, run the scripts in ``examples/``.)
 """
@@ -225,6 +233,8 @@ def _cmd_serve_sim(args) -> int:
     )
     if args.shards > 0:
         return _serve_sim_sharded(args, phases)
+    if args.replicas > 0:
+        return _serve_sim_replicated(args, phases)
     with obs.use_registry():
         served, tree, _device, _injector, _latency, _clock = build_stack(
             seed=args.seed, n_keys=args.n_keys, budget=args.budget_ms / 1000.0,
@@ -336,6 +346,80 @@ def _serve_sim_sharded(args, phases) -> int:
     return 0 if ok else 1
 
 
+def _serve_sim_replicated(args, phases) -> int:
+    """serve-sim over a replicated fleet, with an optional kill/heal.
+
+    Exit status is non-zero on any false negative, an unconverged fleet,
+    or leftover handoff backlog — the invariants the replica-chaos CI
+    job gates on.
+    """
+    import json
+
+    from repro import obs
+    from repro.serve import ServeOutcome, run_replica_storm
+
+    with obs.use_registry():
+        storm, rep, store, repairer = run_replica_storm(
+            seed=args.seed,
+            n_keys=args.n_keys,
+            n_nodes=args.replicas,
+            read_quorum=args.repl_quorum or None,
+            phases=phases,
+            kill_at=args.kill_replica_at,
+            heal_at=args.heal_at,
+            wipe=args.wipe_replica,
+            crash_at_step=args.crash_at_step,
+            write_fraction=0.05,
+            budget=args.budget_ms / 1000.0,
+        )
+        header = (f"{'phase':10s} {'requests':>8s} "
+                  + "".join(f"{o.value:>10s}" for o in ServeOutcome)
+                  + f" {'p99 (ms)':>9s}")
+        print(f"replicated storm: {storm.n_requests} requests over "
+              f"{args.replicas} replicas (R={store.replication}, "
+              f"read quorum {store.read_quorum}), "
+              f"fault rate {args.fault_rate}, seed {args.seed}")
+        print(header)
+        print("-" * len(header))
+        for p in storm.phases:
+            print(f"{p.name:10s} {p.n_requests:8d} "
+                  + "".join(f"{p.outcomes[o]:10d}" for o in ServeOutcome)
+                  + f" {1e3 * p.latency_quantile(0.99):9.2f}")
+        print(f"\ngoodput (served/total): {storm.goodput():.3f}")
+        print(f"false negatives: {storm.false_negatives} (must be 0)")
+        if args.kill_replica_at > 0:
+            print(f"\nreplica lifecycle (kill at request "
+                  f"{args.kill_replica_at}"
+                  + (", wiped" if args.wipe_replica else "")
+                  + (f", heal at {args.heal_at}" if args.heal_at else "")
+                  + (f", crash armed at {args.crash_at_step!r}"
+                     if args.crash_at_step else "")
+                  + "):")
+            for t, label in rep.events:
+                print(f"  t={1e3 * t:9.2f} ms  {label}")
+            print(f"  crashes: {rep.crashes}  recoveries: {rep.recoveries}")
+        print(f"hints journaled/replayed/dropped: {rep.hints_journaled}/"
+              f"{rep.hints_replayed}/{rep.hints_dropped} "
+              f"(backlog: {rep.backlog})")
+        print(f"anti-entropy: {rep.repairs} records repaired "
+              f"({rep.repair_bytes} bytes), {rep.buckets_checked} buckets "
+              f"checked, {rep.repair_sheds} pumps shed")
+        print(f"digests converged: {rep.converged} (must be true)")
+        if args.journal_out:
+            doc = {
+                "report": rep.as_dict(),
+                "seed": args.seed,
+                "replicas": args.replicas,
+                "crash_at_step": args.crash_at_step,
+            }
+            with open(args.journal_out, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+            print(f"\nreplica report written to {args.journal_out}")
+    ok = (storm.false_negatives == 0 and rep.converged
+          and rep.backlog == 0 and rep.hints_dropped == 0)
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -398,6 +482,22 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--journal-out", type=str, default=None,
                          help="write the migration journal + report as "
                               "JSON to this path (CI failure artifact)")
+    p_serve.add_argument("--replicas", type=int, default=0,
+                         help="serve from an R-way replicated fleet with "
+                              "this many nodes (0 = the classic stack; "
+                              "mutually exclusive with --shards)")
+    p_serve.add_argument("--repl-quorum", type=int, default=0,
+                         help="read quorum for ABSENT answers "
+                              "(0 = majority of the replication factor)")
+    p_serve.add_argument("--kill-replica-at", type=int, default=0,
+                         help="kill one replica at this request number "
+                              "(0 disables; requires --replicas)")
+    p_serve.add_argument("--heal-at", type=int, default=0,
+                         help="heal the killed replica at this request "
+                              "number (0 = never during the storm)")
+    p_serve.add_argument("--wipe-replica", action="store_true",
+                         help="destroy the killed replica's data, forcing "
+                              "anti-entropy to rebuild it")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -425,10 +525,22 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--negative-cache must be non-negative")
         if args.shards < 0:
             parser.error("--shards must be non-negative")
+        if args.replicas < 0:
+            parser.error("--replicas must be non-negative")
+        if args.replicas > 0 and args.shards > 0:
+            parser.error("--replicas and --shards are mutually exclusive")
         if args.reshard_at > 0 and args.shards <= 0:
             parser.error("--reshard-at requires --shards")
-        if args.crash_at_step and args.reshard_at <= 0:
-            parser.error("--crash-at-step requires --reshard-at")
+        if args.kill_replica_at > 0 and args.replicas <= 0:
+            parser.error("--kill-replica-at requires --replicas")
+        if args.heal_at > 0 and args.kill_replica_at <= 0:
+            parser.error("--heal-at requires --kill-replica-at")
+        if args.heal_at > 0 and args.heal_at <= args.kill_replica_at:
+            parser.error("--heal-at must come after --kill-replica-at")
+        if args.crash_at_step and args.reshard_at <= 0 \
+                and args.kill_replica_at <= 0:
+            parser.error("--crash-at-step requires --reshard-at or "
+                         "--kill-replica-at")
         return _cmd_serve_sim(args)
     parser.error(f"unknown command {args.command!r}")
     return 2

@@ -76,6 +76,20 @@ def address_class(address: Any) -> Any:
     return address
 
 
+def address_scope(address: Any) -> str | None:
+    """The scoped ``"class@namespace"`` rate key for a namespaced address.
+
+    :class:`~repro.common.storage.NamespacedDevice` rewrites ``(cls, *rest)``
+    to ``(cls, namespace, *rest)``, so the namespace — a replica id like
+    ``"r2"`` — is the second tuple element.  A rate dict may target one
+    replica's devices (``{"run@r2": 0.5, "*": 0.0}``) without touching its
+    peers; the scoped key wins over the bare class.
+    """
+    if isinstance(address, tuple) and len(address) >= 2 and isinstance(address[1], str):
+        return f"{address[0]}@{address[1]}"
+    return None
+
+
 @dataclass
 class FaultStats:
     """Counts of faults actually injected."""
@@ -124,10 +138,14 @@ class FaultInjector:
         self.stats = FaultStats()
         self._rng = random.Random(seed)
         self._crash_at: str | None = None
+        self._fired_crashes: set[str] = set()
         self.crashes = 0
 
     def _rate(self, spec: float | dict, address: Any) -> float:
         if isinstance(spec, dict):
+            scope = address_scope(address)
+            if scope is not None and scope in spec:
+                return spec[scope]
             return spec.get(address_class(address), spec.get("*", 0.0))
         return spec
 
@@ -163,7 +181,7 @@ class FaultInjector:
 
     # -- crash points ---------------------------------------------------------------
 
-    def crash_after(self, step_name: str) -> None:
+    def crash_after(self, step_name: str, *, rearm: bool = False) -> None:
         """Arm a one-shot crash at the named step.
 
         The next :meth:`maybe_crash` call whose ``step_name`` matches
@@ -171,7 +189,16 @@ class FaultInjector:
         recovered "process" that replays the same step does not die again
         — chaos tests kill each migration step exactly once and then
         watch recovery converge.
+
+        A step that has already fired stays disarmed even if the arming
+        code runs again (recovery paths re-execute setup code verbatim,
+        including its ``crash_after`` calls); pass ``rearm=True`` to
+        deliberately kill the same step a second time.
         """
+        if rearm:
+            self._fired_crashes.discard(step_name)
+        elif step_name in self._fired_crashes:
+            return
         self._crash_at = step_name
 
     @property
@@ -183,6 +210,7 @@ class FaultInjector:
         """Crash point: dies iff armed for exactly this *step_name*."""
         if self._crash_at is not None and self._crash_at == step_name:
             self._crash_at = None
+            self._fired_crashes.add(step_name)
             self.crashes += 1
             _count_fault("crash")
             raise SimulatedCrash(step_name)

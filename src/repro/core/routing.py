@@ -47,6 +47,23 @@ class Router:
     def shard_ids(self) -> tuple[int, ...]:
         raise NotImplementedError
 
+    def preference_list(self, key: Any, n: int) -> tuple[int, ...]:
+        """The first ``min(n, len(shards))`` distinct shards responsible
+        for *key*, primary first — the replica placement set.
+
+        The base rule walks successors of the owner in sorted-id order
+        (wrapping), so any router gets a deterministic placement;
+        :class:`ConsistentHashRouter` overrides this with a true ring
+        walk, which is the placement replication should prefer (adding a
+        shard shifts only neighbouring replica sets).
+        """
+        if n < 1:
+            raise ValueError("preference list size must be positive")
+        ids = sorted(self.shard_ids())
+        start = ids.index(self.owner(key))
+        take = min(n, len(ids))
+        return tuple(ids[(start + i) % len(ids)] for i in range(take))
+
     def to_manifest(self) -> dict:
         raise NotImplementedError
 
@@ -171,8 +188,20 @@ class HashRangeRouter(Router):
             lo = upper
         return out
 
-    def split(self, source: int, target: int) -> "HashRangeRouter":
-        """Hand the upper half of *source*'s widest range to *target*."""
+    def split(
+        self, source: int, target: int, histogram=None
+    ) -> "HashRangeRouter":
+        """Hand the upper part of one of *source*'s ranges to *target*.
+
+        Without a *histogram* the widest range is cut at its geometric
+        midpoint — correct for uniformly hashed keys, but a skewed
+        (adversarial or low-entropy) key set can leave one half nearly
+        empty.  With *histogram* — an iterable of observed 64-bit key
+        hash points, e.g. from ``ShardedStore.key_histogram(source)`` —
+        the cut goes through the range holding the most observed keys,
+        at their median point, so each side inherits half the *observed*
+        population rather than half the hash space.
+        """
         if target in self.shard_ids() and target != source:
             raise ValueError(f"target shard {target} already owns ranges")
         ranges = self.ranges_of(source)
@@ -180,6 +209,22 @@ class HashRangeRouter(Router):
             raise ValueError(f"shard {source} owns no range")
         lo, hi = max(ranges, key=lambda r: r[1] - r[0])
         mid = (lo + hi) // 2
+        if histogram is not None:
+            points = sorted(int(p) for p in histogram)
+            per_range = {
+                (rlo, rhi): [p for p in points if rlo <= p < rhi]
+                for rlo, rhi in ranges
+            }
+            busiest, occupants = max(
+                per_range.items(), key=lambda item: (len(item[1]), item[0][1] - item[0][0])
+            )
+            if occupants:
+                lo, hi = busiest
+                # Cut *after* the lower half's last occupant so the halves
+                # carry equal observed load; clamp to keep both sides
+                # non-empty ranges.
+                median = occupants[len(occupants) // 2]
+                mid = min(max(median, lo + 1), hi - 1)
         if mid == lo:
             raise ValueError(f"shard {source}'s range is too narrow to split")
         new_bounds = []
@@ -255,6 +300,25 @@ class ConsistentHashRouter(Router):
 
     def shard_ids(self) -> tuple[int, ...]:
         return self._ids
+
+    def preference_list(self, key: Any, n: int) -> tuple[int, ...]:
+        """Walk the ring clockwise from the key's point, collecting the
+        first ``min(n, len(shards))`` *distinct* shards (Dynamo-style
+        replica placement: successive vnodes owned by the same shard are
+        skipped, so replicas land on different shards)."""
+        if n < 1:
+            raise ValueError("preference list size must be positive")
+        take = min(n, len(self._ids))
+        h = hash64(key, self.seed ^ SHARD_SALT)
+        i = bisect.bisect_right(self._hashes, h)
+        chosen: list[int] = []
+        for step in range(len(self._points)):
+            shard = self._points[(i + step) % len(self._points)][1]
+            if shard not in chosen:
+                chosen.append(shard)
+                if len(chosen) == take:
+                    break
+        return tuple(chosen)
 
     def with_shard(self, shard: int) -> "ConsistentHashRouter":
         if shard in self._ids:

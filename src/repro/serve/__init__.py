@@ -39,6 +39,15 @@ from repro.serve.reshard import (
     build_sharded_stack,
     run_reshard_storm,
 )
+from repro.serve.replica import (
+    AntiEntropyRepairer,
+    FailureDetector,
+    HintedHandoff,
+    ReplicaReport,
+    ReplicatedStore,
+    build_replicated_stack,
+    run_replica_storm,
+)
 
 __all__ = [
     "Answer",
@@ -70,4 +79,11 @@ __all__ = [
     "ShardedStore",
     "build_sharded_stack",
     "run_reshard_storm",
+    "AntiEntropyRepairer",
+    "FailureDetector",
+    "HintedHandoff",
+    "ReplicaReport",
+    "ReplicatedStore",
+    "build_replicated_stack",
+    "run_replica_storm",
 ]

@@ -185,6 +185,17 @@ class BreakerDevice:
         breaker.record_success()
         return payload
 
+    def reset(self) -> None:
+        """Forget all breaker state, as a process restart would.
+
+        Breakers are in-memory protection, not durable state: after a
+        crash the restarted process starts with every circuit closed and
+        must re-learn which addresses are unhealthy.  Recovery paths
+        call this so a breaker tripped by the pre-crash storm cannot
+        fast-fail the reads that recovery itself depends on.
+        """
+        self.breakers.clear()
+
     def open_breakers(self) -> list[CircuitBreaker]:
         return [
             b for b in self.breakers.values() if b.state is not BreakerState.CLOSED

@@ -1,0 +1,1367 @@
+"""Replicated filter serving: quorum reads, hinted handoff, anti-entropy.
+
+ROADMAP #1's replica fan-out, grown into a full replication layer.  A
+:class:`ReplicatedStore` places every key on R *nodes* (replicas) using
+:meth:`~repro.core.routing.Router.preference_list` over a
+:class:`~repro.core.routing.ConsistentHashRouter` ring, each node a
+per-namespace LSM-tree over the shared (faulty, breaker-guarded)
+device.  Reads fan out in *suspicion order* — healthiest replica first,
+as judged by a phi-accrual-style :class:`FailureDetector` — and combine
+under a quorum rule that preserves the repo-wide one-sided-error
+contract:
+
+======================  =======================================  ========
+evidence                condition                                answer
+======================  =======================================  ========
+live record             any replica, complete scan               PRESENT
+absence (no record or   >= ``read_quorum`` *eligible* replicas,  ABSENT
+tombstone)              each a complete scan
+anything else           —                                        MAYBE
+======================  =======================================  ========
+
+A replica is **eligible** to vote ABSENT only while it is alive, not
+*tainted* (wiped and not yet repaired), and has no pending handoff
+hints — three gates that together make the no-false-negative argument
+inductive: every write lands on each of its R replicas either directly,
+as a durable hint (replica ineligible until the hint replays), or not
+at all because hint journaling failed (replica durably tainted until
+anti-entropy re-verifies it).  In every case a replica that might be
+missing the key is barred from testifying to its absence.
+
+Convergence machinery:
+
+* **Hinted handoff** (:class:`HintedHandoff`) — writes destined for a
+  suspected or unreachable replica are journaled durably (CRC-framed
+  ``("hint", seq, node)`` records) and replayed in order on recovery,
+  crash-safely and idempotently like the reshard journal: records carry
+  a monotone write sequence and replay applies a hint only when it is
+  newer than what the replica already holds.
+* **Anti-entropy** (:class:`AntiEntropyRepairer`) — a background
+  scrubber compares per-node, per-bucket digests (CRC chains over the
+  serialized records, the same framing BBF2 uses) against the union-
+  resolved expected state and streams repairs, admission-gated at
+  ``Priority.LOW`` exactly like reshard pumps.  A tainted replica's
+  taint clears only after a full clean digest round re-verified against
+  the live tree.
+
+Deletes are tombstone *records* (``{"s": seq, "t": true}``) written
+through the same replicated path, so max-seq-wins resolution converges
+them like any other write; a stale live copy can answer PRESENT during
+convergence (a false positive, which the contract allows), never the
+reverse.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.apps.lsm import LSMConfig, LSMTree
+from repro.common.clock import (
+    Answer,
+    Deadline,
+    DeadlineExceeded,
+    LookupResult,
+    SimulatedClock,
+)
+from repro.common.faults import (
+    CircuitOpenError,
+    FaultInjector,
+    FaultyBlockDevice,
+    LatencyInjector,
+    RetryPolicy,
+    SimulatedCrash,
+    TransientIOError,
+)
+from repro.common.hashing import hash_to_range
+from repro.common.storage import NamespacedDevice
+from repro.core.errors import ChecksumError
+from repro.core.routing import ConsistentHashRouter, Router
+from repro.core.serialize import frame, unframe
+from repro.obs.metrics import default_registry
+from repro.serve.admission import AdmissionConfig, AdmissionController, Priority
+from repro.serve.breaker import BreakerDevice
+from repro.serve.served import ServedFilter
+
+_META_NS = "replmeta"
+_HANDOFF_NS = "handoff"
+_DIGEST_SALT = 0xB0C6
+
+
+# -- failure detection -------------------------------------------------------------
+
+
+class FailureDetector:
+    """Phi-accrual-style failure detector on the simulated clock.
+
+    Every successful operation against a replica is a heartbeat; every
+    failed one bumps a consecutive-failure count.  ``suspicion`` grows
+    with the time since the last heartbeat relative to the observed
+    heartbeat interval (the accrual part) plus the failure streak, so a
+    silent replica and a loudly-failing replica both climb.  There is no
+    binary up/down output — callers pick thresholds per decision, which
+    is the phi-accrual design point: fan-out ordering can react at low
+    suspicion while write diversion waits for high.
+    """
+
+    def __init__(self, clock: SimulatedClock, *, window: int = 8,
+                 min_interval: float = 0.002):
+        self.clock = clock
+        self.window = window
+        # Floor for the learned heartbeat interval.  Bulk loading runs
+        # with zero simulated latency, so learned intervals can collapse
+        # to ~0 — and then the first real gap in traffic makes every
+        # healthy replica look silent for "millions" of intervals.
+        # Standard phi-accrual implementations clamp the distribution
+        # for exactly this reason.
+        self.min_interval = min_interval
+        self._last_beat: dict[int, float] = {}
+        self._intervals: dict[int, list[float]] = {}
+        self._failures: dict[int, int] = {}
+
+    def heartbeat(self, node_id: int) -> None:
+        now = self.clock.now()
+        last = self._last_beat.get(node_id)
+        if last is not None:
+            history = self._intervals.setdefault(node_id, [])
+            history.append(max(now - last, 1e-9))
+            del history[: -self.window]
+        self._last_beat[node_id] = now
+        self._failures[node_id] = 0
+
+    def record_failure(self, node_id: int) -> None:
+        self._failures[node_id] = self._failures.get(node_id, 0) + 1
+
+    def mean_interval(self, node_id: int) -> float:
+        history = self._intervals.get(node_id)
+        if not history:
+            return 0.0
+        return sum(history) / len(history)
+
+    def suspicion(self, node_id: int) -> float:
+        """Accrued suspicion: 0 for a freshly-heartbeaten replica,
+        unbounded growth while it stays silent or failing."""
+        phi = float(self._failures.get(node_id, 0))
+        last = self._last_beat.get(node_id)
+        mean = self.mean_interval(node_id)
+        if last is not None and mean > 0.0:
+            elapsed = self.clock.now() - last
+            # -log10 P(no heartbeat for `elapsed`) under an exponential
+            # inter-arrival model: elapsed/mean * log10(e).
+            phi += (elapsed / max(mean, self.min_interval)) * 0.4343
+        return phi
+
+    def suspected(self, node_id: int, threshold: float = 3.0) -> bool:
+        return self.suspicion(node_id) > threshold
+
+    def publish_gauges(self, node_ids) -> None:
+        gauge = default_registry().gauge(
+            "repro_replica_suspicion",
+            "failure-detector suspicion level per replica",
+            labels=("replica",),
+        )
+        for node_id in node_ids:
+            gauge.labels(replica=f"r{node_id}").set(self.suspicion(node_id))
+
+
+# -- replica nodes -----------------------------------------------------------------
+
+
+@dataclass
+class ReplicaNode:
+    """One replica: a namespaced LSM-tree plus liveness/taint flags.
+
+    ``alive`` models the network (a dead node's tree is unreachable, its
+    durable namespace persists).  ``tainted`` is the durable safety
+    flag: set before a wipe and by hint-journaling failures, cleared
+    only by a clean anti-entropy round — while set, the node may serve
+    PRESENT evidence but never testify to absence.
+    """
+
+    node_id: int
+    tree: LSMTree
+    alive: bool = True
+    tainted: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"r{self.node_id}"
+
+
+def _is_tombstone(record: Any) -> bool:
+    return isinstance(record, dict) and record.get("t") is True
+
+
+def _record_seq(record: Any, default: int = 0) -> int:
+    return int(record.get("s", default)) if isinstance(record, dict) else default
+
+
+class ReplicatedStore:
+    """R-way replicated key store behind the ServedFilter backend contract.
+
+    Exposes ``lookup(key, deadline=..., degrade_on_error=...)`` plus
+    ``mutation_epoch``, so it drops into
+    :class:`~repro.serve.served.ServedFilter` exactly like an LSM-tree
+    or a :class:`~repro.serve.reshard.ShardedStore`.
+    """
+
+    def __init__(
+        self,
+        device: Any,
+        *,
+        n_nodes: int = 3,
+        replication: int | None = None,
+        read_quorum: int | None = None,
+        config: LSMConfig | None = None,
+        clock: SimulatedClock | None = None,
+        detector: FailureDetector | None = None,
+        injector: FaultInjector | None = None,
+        seed: int = 0,
+        write_manifest: bool = True,
+    ):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        replication = min(3, n_nodes) if replication is None else replication
+        if not 1 <= replication <= n_nodes:
+            raise ValueError("replication must be in [1, n_nodes]")
+        read_quorum = replication // 2 + 1 if read_quorum is None else read_quorum
+        if not 1 <= read_quorum <= replication:
+            raise ValueError("read_quorum must be in [1, replication]")
+        self.device = device
+        self.clock = clock
+        self.injector = injector
+        self.seed = seed
+        self.replication = replication
+        self.read_quorum = read_quorum
+        self.config = config if config is not None else LSMConfig(
+            memtable_entries=48, retry_attempts=3, seed=seed
+        )
+        self.router: Router = ConsistentHashRouter(range(n_nodes), seed=seed)
+        self.detector = detector if detector is not None else FailureDetector(
+            clock if clock is not None else SimulatedClock()
+        )
+        self._meta = NamespacedDevice(device, _META_NS)
+        self._meta_retry = RetryPolicy(max_attempts=4, clock=clock)
+        self.nodes: dict[int, ReplicaNode] = {}
+        self.write_seq = 0
+        self._seq_floor = 0
+        self._epoch_base = 0
+        self._state_version = 0
+        self.handoff = HintedHandoff(self, injector=injector)
+        for node_id in range(n_nodes):
+            self._open_node(node_id)
+        if write_manifest:
+            self._write_state_manifest()
+
+    # -- node plumbing -----------------------------------------------------------
+
+    def _node_device(self, node_id: int) -> NamespacedDevice:
+        return NamespacedDevice(self.device, f"r{node_id}")
+
+    def _node_retry(self, node_id: int) -> RetryPolicy:
+        return RetryPolicy(
+            max_attempts=self.config.retry_attempts,
+            jitter="decorrelated",
+            base_backoff=0.0005,
+            max_backoff=0.01,
+            seed=self.seed ^ (0x4E0D + node_id),
+            clock=self.clock,
+        )
+
+    def _open_node(self, node_id: int, *, recover: bool = False) -> ReplicaNode:
+        ns = self._node_device(node_id)
+        if recover and ns.addresses():
+            tree = LSMTree.recover(ns, self.config)
+        else:
+            tree = LSMTree(self.config, device=ns)
+        tree.retry = self._node_retry(node_id)
+        node = ReplicaNode(node_id, tree)
+        self.nodes[node_id] = node
+        return node
+
+    def replicas_of(self, key: Any) -> tuple[int, ...]:
+        return self.router.preference_list(key, self.replication)
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Negative-cache version token: monotone across writes, hint
+        replays (hints carry sequences already counted), and heals."""
+        return self._epoch_base + self.write_seq
+
+    # -- durable node-state manifest (double-buffered, like routing) -------------
+
+    def _state_payload(self) -> bytes:
+        doc = {
+            "version": self._state_version,
+            "n_nodes": len(self.nodes),
+            "replication": self.replication,
+            "read_quorum": self.read_quorum,
+            "seed": self.seed,
+            "epoch_base": self._epoch_base,
+            "alive": sorted(n.node_id for n in self.nodes.values() if n.alive),
+            "tainted": sorted(n.node_id for n in self.nodes.values() if n.tainted),
+            "seq_floor": self._seq_floor,
+            "config": self.config.to_manifest(),
+        }
+        return frame(json.dumps(doc, sort_keys=True).encode())
+
+    def _write_state_manifest(self) -> None:
+        self._state_version += 1
+        slot = self._state_version % 2
+        payload = self._state_payload()
+        last_error: Exception | None = None
+        for _attempt in range(4):
+            self._meta.write(("nodestate", slot), payload, size=len(payload))
+            try:
+                raw = self._meta.read(("nodestate", slot))
+                if json.loads(unframe(raw).decode())["version"] == \
+                        self._state_version:
+                    return
+            except (TransientIOError, ChecksumError, ValueError, KeyError) as e:
+                last_error = e
+        raise TransientIOError(
+            f"node-state manifest write could not be verified: {last_error}"
+        )
+
+    @staticmethod
+    def load_state_manifest(meta: Any) -> dict | None:
+        retry = RetryPolicy(max_attempts=4)
+        best = None
+        for slot in (0, 1):
+            address = ("nodestate", slot)
+            if not meta.exists(address):
+                continue
+            try:
+                doc = json.loads(unframe(retry.call(meta.read, address)).decode())
+            except (TransientIOError, ChecksumError, ValueError, KeyError):
+                continue
+            if best is None or doc["version"] > best["version"]:
+                best = doc
+        return best
+
+    @classmethod
+    def recover(
+        cls,
+        device: Any,
+        *,
+        clock: SimulatedClock | None = None,
+        detector: FailureDetector | None = None,
+        injector: FaultInjector | None = None,
+        config: LSMConfig | None = None,
+        seed: int | None = None,
+    ) -> "ReplicatedStore":
+        """Reopen the whole fleet from its devices alone (post-crash).
+
+        Node trees recover from their namespaces (manifest + WAL
+        replay), liveness and taint flags come back from the durable
+        node-state manifest, pending hints from the handoff journal, and
+        the write sequence restores as the max over every record and
+        hint — so post-crash writes keep winning max-seq resolution.
+        """
+        meta = NamespacedDevice(device, _META_NS)
+        manifest = cls.load_state_manifest(meta)
+        if manifest is None:
+            raise RuntimeError("no valid node-state manifest; cannot recover")
+        if config is None:
+            config = LSMConfig.from_manifest(manifest["config"])
+        store = cls(
+            device,
+            n_nodes=manifest["n_nodes"],
+            replication=manifest["replication"],
+            read_quorum=manifest["read_quorum"],
+            config=config,
+            clock=clock,
+            detector=detector,
+            injector=injector,
+            seed=manifest["seed"] if seed is None else seed,
+            write_manifest=False,
+        )
+        store._epoch_base = manifest["epoch_base"]
+        store._state_version = manifest["version"]
+        alive = set(manifest["alive"])
+        tainted = set(manifest["tainted"])
+        for node_id in list(store.nodes):
+            store.nodes.pop(node_id)
+            try:
+                node = store._open_node(node_id, recover=True)
+            except (TransientIOError, CircuitOpenError, ChecksumError):
+                # A replica whose namespace cannot be read at boot must
+                # not block fleet recovery.  Bring it up empty, dead,
+                # and tainted — barred from ABSENT votes — and let
+                # heal() re-recover the tree (its durable blocks are
+                # untouched) with anti-entropy re-verifying after.  The
+                # taint is safe to hold only in memory: a re-crash
+                # re-runs this open and re-derives it.
+                node = store._open_node(node_id)
+                node.alive = False
+                node.tainted = True
+                store._count_node_event("boot_taint")
+                continue
+            node.alive = node_id in alive
+            node.tainted = node_id in tainted
+        max_seq = store.handoff.max_hint_seq()
+        for node in store.nodes.values():
+            try:
+                for _key, record in node.tree.items():
+                    max_seq = max(max_seq, _record_seq(record))
+            except (TransientIOError, CircuitOpenError, ChecksumError):
+                node.alive = False
+                node.tainted = True
+                store._count_node_event("boot_taint")
+        # The durable floor keeps sequences strictly monotone even when
+        # the highest-seq record lives only on a boot-tainted replica we
+        # could not scan — without it, post-crash writes could reuse
+        # sequences and lose max-seq-wins resolution to stale records.
+        store.write_seq = max(max_seq, manifest.get("seq_floor", 0))
+        store._seq_floor = store.write_seq
+        return store
+
+    # -- kill / heal -------------------------------------------------------------
+
+    def kill(self, node_id: int, *, wipe: bool = False) -> None:
+        """Take a replica off the network (optionally destroying its data).
+
+        A wipe persists the taint flag *before* deleting a single block,
+        so even a crash mid-wipe leaves the replica barred from ABSENT
+        votes until anti-entropy has rebuilt and re-verified it.
+        """
+        node = self.nodes[node_id]
+        node.alive = False
+        if wipe:
+            node.tainted = True
+            self._write_state_manifest()
+            ns = node.tree.device
+            for address in list(ns.addresses()):
+                ns.delete(address)
+            node.tree = LSMTree(self.config, device=ns)
+            node.tree.retry = self._node_retry(node_id)
+        else:
+            self._write_state_manifest()
+        self._count_node_event("kill_wipe" if wipe else "kill")
+
+    def heal(self, node_id: int) -> None:
+        """Bring a replica back: recover its tree from its namespace (WAL
+        replay restores anything durable) and rejoin the read/write path.
+        Taint, if set, stays until anti-entropy clears it."""
+        node = self.nodes[node_id]
+        ns = self._node_device(node_id)
+        if ns.addresses():
+            node.tree = LSMTree.recover(ns, self.config)
+        else:
+            node.tree = LSMTree(self.config, device=ns)
+        node.tree.retry = self._node_retry(node_id)
+        node.alive = True
+        # The heal itself is an observation that the node is back.
+        self.detector.heartbeat(node_id)
+        self._epoch_base += 1  # conservatively invalidate memoized ABSENTs
+        self._write_state_manifest()
+        self._count_node_event("heal")
+
+    def set_tainted(self, node_id: int, tainted: bool) -> None:
+        node = self.nodes[node_id]
+        if node.tainted == tainted:
+            return
+        node.tainted = tainted
+        self._write_state_manifest()
+        self._count_node_event("taint" if tainted else "taint_cleared")
+
+    @staticmethod
+    def _count_node_event(event: str) -> None:
+        default_registry().counter(
+            "repro_replica_node_events_total",
+            "replica lifecycle events (kill/heal/taint)",
+            labels=("event",),
+        ).labels(event=event).inc()
+
+    # -- writes ------------------------------------------------------------------
+
+    def put(self, key: Any, value: Any) -> None:
+        self._write(key, {"s": self._next_seq(), "v": value})
+
+    def delete(self, key: Any) -> None:
+        # A tombstone *record*, not an LSM delete: anti-entropy needs the
+        # delete to exist as data so max-seq-wins can converge it.
+        self._write(key, {"s": self._next_seq(), "t": True})
+
+    # Sequences per durable high-water-mark bump: one manifest write per
+    # _SEQ_SLACK writes buys crash-proof seq monotonicity (see recover).
+    _SEQ_SLACK = 64
+
+    def _next_seq(self) -> int:
+        if self.write_seq >= self._seq_floor:
+            # Never issue a sequence at or above the durable floor:
+            # recovery restores write_seq from the floor, so a sequence
+            # issued past it could be reused after a crash and stale
+            # records would tie fresh ones under max-seq-wins.  If the
+            # floor bump cannot be persisted the write fails whole —
+            # an honest storm loss, not a silent monotonicity hole.
+            prev = self._seq_floor
+            self._seq_floor = self.write_seq + self._SEQ_SLACK
+            try:
+                self._write_state_manifest()
+            except TransientIOError:
+                self._seq_floor = prev
+                raise
+        self.write_seq += 1
+        return self.write_seq
+
+    def _write(self, key: Any, record: dict) -> None:
+        for node_id in self.replicas_of(key):
+            node = self.nodes[node_id]
+            if not node.alive:
+                self.detector.record_failure(node_id)
+                self.handoff.add(node_id, key, record)
+                continue
+            if self.detector.suspected(node_id):
+                self.handoff.add(node_id, key, record)
+                continue
+            try:
+                node.tree.put(key, record)
+            except (TransientIOError, CircuitOpenError):
+                self.detector.record_failure(node_id)
+                self.handoff.add(node_id, key, record)
+            else:
+                self.detector.heartbeat(node_id)
+
+    def apply_record(self, node_id: int, key: Any, record: dict) -> bool:
+        """Idempotently land *record* on a replica (hint replay, repair):
+        applied only if strictly newer than what the replica holds.
+
+        The read-before-write must be authoritative — an incomplete scan
+        cannot prove the replica holds nothing newer — so transient
+        trouble raises and the caller retries the whole (idempotent)
+        apply later.
+        """
+        node = self.nodes[node_id]
+        current = node.tree.lookup(key, degrade_on_error=True)
+        if not current.complete:
+            raise TransientIOError(
+                f"replica r{node_id} read incomplete; apply deferred"
+            )
+        if _record_seq(current.value, -1) >= _record_seq(record):
+            return False
+        node.tree.put(key, record)
+        return True
+
+    # -- quorum reads ------------------------------------------------------------
+
+    def _eligible_absent_voter(self, node: ReplicaNode) -> bool:
+        return (
+            node.alive
+            and not node.tainted
+            and self.handoff.pending_for(node.node_id) == 0
+        )
+
+    def _fanout_order(self, replicas) -> list[int]:
+        # Stagger: healthiest replica first, stable tie-break on id so
+        # the same seed replays the same probe order.
+        return sorted(replicas, key=lambda r: (self.detector.suspicion(r), r))
+
+    def lookup(
+        self,
+        key: Any,
+        *,
+        deadline: Deadline | None = None,
+        degrade_on_error: bool = True,
+    ) -> LookupResult:
+        """Suspicion-ordered fan-out with the quorum combine rule.
+
+        A complete scan that finds a live record answers PRESENT
+        immediately (first complete answer wins — no waiting on slower
+        replicas).  Absence needs ``read_quorum`` complete scans from
+        eligible replicas, where a tombstone counts as absence evidence.
+        Everything else is MAYBE, with the usual reasons.
+        """
+        self._count_outcome("lookups")
+        absent_votes = 0
+        probed = skipped = 0
+        reasons: list[str] = []
+        for node_id in self._fanout_order(self.replicas_of(key)):
+            node = self.nodes[node_id]
+            if deadline is not None and deadline.expired():
+                reasons.append("deadline")
+                break
+            if not node.alive:
+                self.detector.record_failure(node_id)
+                reasons.append("unavailable")
+                continue
+            result = node.tree.lookup(
+                key, deadline=deadline, degrade_on_error=degrade_on_error
+            )
+            probed += result.runs_probed
+            skipped += result.runs_skipped
+            if result.complete:
+                self.detector.heartbeat(node_id)
+            if result.complete and result.state is Answer.PRESENT:
+                if not _is_tombstone(result.value):
+                    self._count_outcome("present")
+                    value = result.value["v"] if isinstance(result.value, dict) \
+                        else result.value
+                    return LookupResult(
+                        Answer.PRESENT, value, complete=True,
+                        runs_probed=probed, runs_skipped=skipped,
+                    )
+                # A tombstone is authoritative absence evidence, subject
+                # to the same eligibility gates as a plain ABSENT.
+                if self._eligible_absent_voter(node):
+                    absent_votes += 1
+            elif result.complete and result.state is Answer.ABSENT:
+                if self._eligible_absent_voter(node):
+                    absent_votes += 1
+            else:
+                reasons.append(result.reason or "unavailable")
+            if absent_votes >= self.read_quorum:
+                self._count_outcome("absent")
+                return LookupResult(
+                    Answer.ABSENT, None, complete=True,
+                    runs_probed=probed, runs_skipped=skipped,
+                )
+        self._count_outcome("maybe")
+        if "deadline" in reasons:
+            reason = "deadline"
+        elif "unavailable" in reasons:
+            reason = "unavailable"
+        else:
+            reason = "quorum"
+        return LookupResult(
+            Answer.MAYBE, None, complete=False, reason=reason,
+            runs_probed=probed, runs_skipped=skipped,
+        )
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        result = self.lookup(key)
+        return result.value if result.state is Answer.PRESENT else default
+
+    @staticmethod
+    def _count_outcome(outcome: str) -> None:
+        default_registry().counter(
+            "repro_replica_quorum_outcomes_total",
+            "replicated lookups by combine-rule outcome",
+            labels=("outcome",),
+        ).labels(outcome=outcome).inc()
+
+    # -- maintenance -------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        for node in self.nodes.values():
+            if node.alive:
+                node.tree.checkpoint()
+
+    def publish_gauges(self) -> None:
+        registry = default_registry()
+        registry.gauge(
+            "repro_replica_handoff_backlog", "hints journaled but not yet replayed"
+        ).set(self.handoff.pending())
+        by_state = registry.gauge(
+            "repro_replica_nodes", "replica nodes by state", labels=("state",)
+        )
+        by_state.labels(state="alive").set(
+            sum(1 for n in self.nodes.values() if n.alive)
+        )
+        by_state.labels(state="down").set(
+            sum(1 for n in self.nodes.values() if not n.alive)
+        )
+        by_state.labels(state="tainted").set(
+            sum(1 for n in self.nodes.values() if n.tainted)
+        )
+        self.detector.publish_gauges(sorted(self.nodes))
+
+
+# -- hinted handoff ----------------------------------------------------------------
+
+
+class HintedHandoff:
+    """Durable hint journal plus crash-safe, idempotent replay.
+
+    A hint is one missed write: ``("hint", seq, node)`` in the handoff
+    namespace, CRC-framed like every other meta record.  Replay walks
+    hints in sequence order, applies each to its (now reachable) target
+    through :meth:`ReplicatedStore.apply_record` — a no-op when the
+    replica already holds something newer, which is what makes replaying
+    a half-completed batch after a crash safe — and only then deletes
+    the journal record.  Crash points: ``handoff.replay`` (batch entry),
+    ``handoff.replay:applied`` (records applied, journal not yet
+    trimmed), ``handoff.replay:batch`` (batch complete).
+
+    If journaling a hint itself fails past retries, the target replica
+    is durably *tainted* — the write is lost, so the replica must not
+    testify to absence until anti-entropy has re-verified it.  That
+    safety net is what lets the no-false-negative proof treat "hint
+    write failed" as a closed case.
+    """
+
+    def __init__(self, store: ReplicatedStore, *, injector: FaultInjector | None):
+        self.store = store
+        self.injector = injector
+        self._journal = NamespacedDevice(store.device, _HANDOFF_NS)
+        self._retry = RetryPolicy(max_attempts=4, clock=store.clock)
+        self._pending: dict[int, int] | None = None  # node_id -> hint count
+        self.journaled = 0
+        self.replayed = 0
+        self.dropped = 0
+
+    # -- journaling --------------------------------------------------------------
+
+    def _hint_addresses(self) -> list[tuple]:
+        return sorted(
+            a for a in self._journal.addresses()
+            if isinstance(a, tuple) and a[0] == "hint"
+        )
+
+    def max_hint_seq(self) -> int:
+        addresses = self._hint_addresses()
+        return max((a[1] for a in addresses), default=0)
+
+    def add(self, node_id: int, key: Any, record: dict) -> None:
+        doc = {"node": node_id, "key": key, "record": record}
+        payload = frame(json.dumps(doc, sort_keys=True).encode())
+        address = ("hint", record["s"], node_id)
+        try:
+            self._retry.call(
+                self._journal.write, address, payload, size=len(payload)
+            )
+            # Verify the frame landed intact: a torn/lost hint is a lost
+            # write in disguise and must taint the target.
+            unframe(self._retry.call(self._journal.read, address))
+        except (TransientIOError, ChecksumError, KeyError):
+            self.dropped += 1
+            self.store.set_tainted(node_id, True)
+            self._count("dropped")
+            return
+        self.journaled += 1
+        if self._pending is not None:
+            self._pending[node_id] = self._pending.get(node_id, 0) + 1
+        self._count("journaled")
+
+    def _scan_pending(self) -> dict[int, int]:
+        pending: dict[int, int] = {}
+        for address in self._hint_addresses():
+            pending[address[2]] = pending.get(address[2], 0) + 1
+        return pending
+
+    def pending(self) -> int:
+        return sum(self.pending_by_node().values())
+
+    def pending_by_node(self) -> dict[int, int]:
+        if self._pending is None:
+            self._pending = self._scan_pending()
+        return self._pending
+
+    def pending_for(self, node_id: int) -> int:
+        return self.pending_by_node().get(node_id, 0)
+
+    # -- replay ------------------------------------------------------------------
+
+    def replay(self, *, batch: int = 8, force: bool = False) -> int:
+        """Replay up to *batch* hints whose targets are reachable.
+
+        Returns the number of hints applied-and-trimmed.  ``force``
+        replays even to suspected (but alive) targets — the post-storm
+        drain.  Hints for dead targets stay journaled; hints that hit
+        transient trouble are skipped this round and retried later.
+        """
+        self._crash_point("handoff.replay")
+        applied: list[tuple] = []
+        for address in self._hint_addresses():
+            if len(applied) >= batch:
+                break
+            node_id = address[2]
+            node = self.store.nodes.get(node_id)
+            if node is None or not node.alive:
+                continue
+            if not force and self.store.detector.suspected(node_id):
+                continue
+            try:
+                raw = self._retry.call(self._journal.read, address)
+                doc = json.loads(unframe(raw).decode())
+                self.store.apply_record(node_id, doc["key"], doc["record"])
+            except (TransientIOError, CircuitOpenError, ChecksumError,
+                    ValueError, KeyError):
+                continue
+            self.store.detector.heartbeat(node_id)
+            applied.append((address, node_id))
+        if not applied:
+            return 0
+        self._crash_point("handoff.replay:applied")
+        for address, node_id in applied:
+            self._journal.delete(address)
+            if self._pending is not None and self._pending.get(node_id):
+                self._pending[node_id] -= 1
+                if not self._pending[node_id]:
+                    del self._pending[node_id]
+        self.replayed += len(applied)
+        self._count("replayed", len(applied))
+        self._crash_point("handoff.replay:batch")
+        return len(applied)
+
+    def _crash_point(self, name: str) -> None:
+        if self.injector is not None:
+            self.injector.maybe_crash(name)
+
+    @staticmethod
+    def _count(action: str, n: int = 1) -> None:
+        default_registry().counter(
+            "repro_replica_hints_total",
+            "hinted-handoff records, by action",
+            labels=("action",),
+        ).labels(action=action).inc(n)
+
+
+# -- anti-entropy ------------------------------------------------------------------
+
+
+class AntiEntropyRepairer:
+    """Background digest comparison and repair streaming.
+
+    The key space is carved into ``n_buckets`` hash buckets.  Each
+    repair *round* starts with one snapshot scan of every alive
+    replica's records (the round's I/O bill, charged through the normal
+    device path); each :meth:`pump` then checks one ``(node, bucket)``
+    cell against the snapshot: the replica's *actual* digest (CRC chain
+    over its serialized records in the bucket) versus the *expected*
+    digest (the max-seq winner per key, unioned across alive replicas,
+    restricted to keys the replica is responsible for).  On mismatch the
+    winners stream into the replica.  A tainted replica's taint clears
+    only after a full clean round *and* a live re-verification of its
+    digests — the snapshot alone is not trusted for a safety flag.
+
+    Pumps are admission-gated at ``Priority.LOW`` with the same idle-
+    runway rule as reshard pumps, so repair I/O soaks up slack instead
+    of competing with foreground reads — and every pump does one
+    *time-bounded* unit of work (scan one replica into the round's
+    snapshot, or check one bucket with repair streaming cut off at
+    ``pump_io_budget`` of simulated time, resuming the same cell next
+    pump).  The device is serial: a pump that charged 100 ms of
+    simulated I/O would stall every foreground request that arrived
+    meanwhile, so boundedness here *is* the availability story.  Unless
+    ``continuous=True``, pumps are no-ops while no replica is tainted —
+    steady-state repair tax is zero until something actually needs
+    repair.
+    """
+
+    def __init__(
+        self,
+        store: ReplicatedStore,
+        *,
+        admission: AdmissionController | None = None,
+        injector: FaultInjector | None = None,
+        n_buckets: int = 16,
+        pump_budget: float = 0.001,
+        pump_io_budget: float = 0.005,
+        continuous: bool = False,
+    ):
+        self.store = store
+        self.clock = store.clock
+        self.admission = admission
+        self.injector = injector
+        self.n_buckets = n_buckets
+        self.pump_budget = pump_budget
+        self.pump_io_budget = pump_io_budget
+        self.continuous = continuous
+        # Round state machine: scan alive replicas one per pump, then
+        # check (node, bucket) cells one per pump.
+        self._scan_queue: list[int] = []
+        self._cells: list[tuple[int, int]] = []
+        self._building: dict[int, dict[Any, Any]] = {}
+        self._snapshot: dict[int, dict[Any, Any]] | None = None
+        self._clean_streak: dict[int, int] = {}
+        self.pumps = 0
+        self.sheds = 0
+        self.io_deferred = 0
+        self.buckets_checked = 0
+        self.repairs = 0
+        self.repair_bytes = 0
+        self.rounds = 0
+
+    # -- digests -----------------------------------------------------------------
+
+    def bucket_of(self, key: Any) -> int:
+        return hash_to_range(key, self.n_buckets, self.store.seed ^ _DIGEST_SALT)
+
+    @staticmethod
+    def _chain(records) -> int:
+        digest = 0
+        for key, record in sorted(records, key=lambda kr: str(kr[0])):
+            payload = frame(
+                json.dumps([key, record], sort_keys=True, default=repr).encode()
+            )
+            digest = zlib.crc32(payload, digest)
+        return digest
+
+    def _bucketize(self, records) -> dict[int, list[tuple]]:
+        buckets: dict[int, list[tuple]] = {}
+        for key, record in records:
+            buckets.setdefault(self.bucket_of(key), []).append((key, record))
+        return buckets
+
+    def node_digests(self, node_id: int) -> dict[int, int]:
+        """Live per-bucket digests of one replica's stored records (one
+        full scan, charged through the device)."""
+        buckets = self._bucketize(self.store.nodes[node_id].tree.items())
+        return {
+            b: self._chain(buckets.get(b, [])) for b in range(self.n_buckets)
+        }
+
+    def expected_digests(self, node_id: int) -> dict[int, int]:
+        """Live per-bucket digests of the union-resolved state this
+        replica *should* hold."""
+        winners: dict[Any, Any] = {}
+        for other in self.store.nodes.values():
+            if not other.alive:
+                continue
+            for key, record in other.tree.items():
+                if node_id not in self.store.replicas_of(key):
+                    continue
+                if key not in winners or \
+                        _record_seq(record) > _record_seq(winners[key]):
+                    winners[key] = record
+        buckets = self._bucketize(winners.items())
+        return {
+            b: self._chain(buckets.get(b, [])) for b in range(self.n_buckets)
+        }
+
+    def converged(self) -> bool:
+        """Every alive replica's live digests equal its expected digests."""
+        return all(
+            self.node_digests(node_id) == self.expected_digests(node_id)
+            for node_id, node in self.store.nodes.items()
+            if node.alive
+        )
+
+    # -- the pump ----------------------------------------------------------------
+
+    def _active(self) -> bool:
+        return self.continuous or any(
+            n.tainted for n in self.store.nodes.values()
+        )
+
+    @property
+    def idle(self) -> bool:
+        """True between rounds (no scan or cell in flight)."""
+        return not self._scan_queue and not self._cells
+
+    def pump(
+        self,
+        arrival: float | None = None,
+        *,
+        budget: float | None = None,
+        force: bool = False,
+    ) -> bool:
+        """One bounded unit of repair work; returns True iff attempted.
+
+        Gating mirrors the reshard pump: admitted at LOW priority, with
+        idle runway before the next arrival.  A unit is one replica scan
+        (building the round's snapshot) or one bucket check; repair
+        streaming inside a bucket stops at ``pump_io_budget`` of
+        simulated time and the cell is retried next pump, so no single
+        pump can stall the serial device for long.
+        """
+        if not force and not self._active():
+            return False
+        self.pumps += 1
+        if self.admission is not None and not force:
+            now = self.clock.now() if self.clock else 0.0
+            decision = self.admission.admit(
+                now if arrival is None else arrival, Priority.LOW
+            )
+            lag_cap = self.pump_budget if budget is None else budget
+            runway = 3 * lag_cap
+            headroom = (arrival - now) if arrival is not None else runway
+            if not decision.admitted or decision.queue_delay > lag_cap \
+                    or headroom < runway:
+                self.sheds += 1
+                default_registry().counter(
+                    "repro_replica_repair_sheds_total",
+                    "anti-entropy pumps shed by admission control",
+                ).inc()
+                return False
+        if not self._scan_queue and not self._cells:
+            alive = [
+                n for n in sorted(self.store.nodes)
+                if self.store.nodes[n].alive
+            ]
+            if not alive:
+                return False
+            self._scan_queue = alive
+            self._building = {}
+        if self._scan_queue:
+            node_id = self._scan_queue[0]
+            node = self.store.nodes.get(node_id)
+            if node is None or not node.alive:
+                self._scan_queue.pop(0)
+            else:
+                try:
+                    self._building[node_id] = dict(node.tree.items())
+                except (TransientIOError, CircuitOpenError, DeadlineExceeded):
+                    self.io_deferred += 1
+                    return True
+                self._scan_queue.pop(0)
+            if not self._scan_queue:
+                self._snapshot = self._building
+                self._cells = [
+                    (n, b) for n in self._snapshot for b in range(self.n_buckets)
+                ]
+                self.rounds += 1
+            return True
+        node_id, bucket = self._cells[0]
+        node = self.store.nodes.get(node_id)
+        if node is None or not node.alive:
+            self._cells.pop(0)
+            return True
+        try:
+            done = self._check_bucket(node_id, bucket)
+        except (TransientIOError, CircuitOpenError, DeadlineExceeded):
+            self.io_deferred += 1
+            return True
+        if done:
+            self._cells.pop(0)
+        return True
+
+    def _io_deadline(self) -> Deadline | None:
+        if self.clock is None:
+            return None
+        return Deadline.after(self.clock, self.pump_io_budget)
+
+    def _check_bucket(self, node_id: int, bucket: int) -> bool:
+        """Digest-check one cell against the round snapshot, streaming
+        repairs under a time budget.  Returns True when the cell is done
+        (clean or fully streamed), False to resume next pump."""
+        self.buckets_checked += 1
+        snapshot = self._snapshot or {}
+        if node_id not in snapshot:
+            return True
+        winners: dict[Any, Any] = {}
+        for records in snapshot.values():
+            for key, record in records.items():
+                if self.bucket_of(key) != bucket:
+                    continue
+                if node_id not in self.store.replicas_of(key):
+                    continue
+                if key not in winners or \
+                        _record_seq(record) > _record_seq(winners[key]):
+                    winners[key] = record
+        actual = {
+            key: record for key, record in snapshot[node_id].items()
+            if self.bucket_of(key) == bucket
+        }
+        if self._chain(winners.items()) == self._chain(actual.items()):
+            self._mark_clean(node_id)
+            return True
+        self._crash_point("repair.stream")
+        deadline = self._io_deadline()
+        repaired = 0
+        exhausted = True
+        for key, record in sorted(winners.items(), key=lambda kr: str(kr[0])):
+            if _record_seq(actual.get(key), -1) >= _record_seq(record):
+                continue
+            if deadline is not None and deadline.expired():
+                exhausted = False  # resume this cell next pump
+                break
+            self.store.nodes[node_id].tree.put(key, record)
+            snapshot[node_id][key] = record
+            repaired += 1
+            self.repair_bytes += len(
+                frame(json.dumps([key, record], sort_keys=True,
+                                 default=repr).encode())
+            )
+        self.repairs += repaired
+        self._count("streamed", repaired)
+        if not exhausted:
+            return False
+        # Streaming only adds newer records; a replica holding spurious
+        # extras still mismatches, resets the streak, and gets re-checked
+        # next round.
+        refreshed = {
+            key: record for key, record in snapshot[node_id].items()
+            if self.bucket_of(key) == bucket
+        }
+        if self._chain(winners.items()) == self._chain(refreshed.items()):
+            self._mark_clean(node_id)
+        else:
+            self._clean_streak[node_id] = 0
+        return True
+
+    def _mark_clean(self, node_id: int) -> None:
+        streak = self._clean_streak.get(node_id, 0) + 1
+        self._clean_streak[node_id] = streak
+        node = self.store.nodes[node_id]
+        if not node.tainted or streak < self.n_buckets \
+                or self.store.handoff.pending_for(node_id):
+            return
+        # A taint clear re-enables ABSENT votes, so it must not rest on a
+        # possibly-stale snapshot: re-verify against the live trees.
+        self._clean_streak[node_id] = 0
+        if self.node_digests(node_id) == self.expected_digests(node_id):
+            self.store.set_tainted(node_id, False)
+
+    def _crash_point(self, name: str) -> None:
+        if self.injector is not None:
+            self.injector.maybe_crash(name)
+
+    @staticmethod
+    def _count(action: str, n: int) -> None:
+        if n:
+            default_registry().counter(
+                "repro_replica_repairs_total",
+                "anti-entropy repair records, by action",
+                labels=("action",),
+            ).labels(action=action).inc(n)
+
+    def publish_gauges(self) -> None:
+        registry = default_registry()
+        registry.gauge(
+            "repro_replica_repair_bytes",
+            "serialized bytes streamed by anti-entropy repair",
+        ).set(self.repair_bytes)
+        registry.gauge(
+            "repro_replica_repair_rounds", "anti-entropy snapshot rounds started"
+        ).set(self.rounds)
+
+
+# -- storm integration -------------------------------------------------------------
+
+
+def build_replicated_stack(
+    seed: int = 0,
+    n_keys: int = 2_000,
+    n_nodes: int = 3,
+    *,
+    replication: int | None = None,
+    read_quorum: int | None = None,
+    budget: float = 0.050,
+    base_latency: float = 0.0008,
+    breaker_kwargs: dict | None = None,
+    admission_config: AdmissionConfig | None = None,
+    lsm_config: LSMConfig | None = None,
+):
+    """The replicated sibling of :func:`repro.serve.sim.build_stack`.
+
+    One clock, one fault/latency injector pair, one faulty device, and
+    one breaker bank are shared by every replica (each node's tree sees
+    a :class:`~repro.common.storage.NamespacedDevice` view, so scoped
+    fault rates like ``{"run@r1": 0.5}`` target one replica).  Returns
+    ``(served, store, repairer, device, injector, latency, clock)``.
+    """
+    clock = SimulatedClock()
+    injector = FaultInjector(seed=seed)
+    latency = LatencyInjector(seed=seed, base=base_latency)
+    latency.slowdown = 0.0  # load phase is free: storms start at t=0
+    device = FaultyBlockDevice(injector=injector, latency=latency, clock=clock)
+    breaker_device = BreakerDevice(
+        device, clock, **(breaker_kwargs or {"cooldown": 0.05, "min_samples": 4})
+    )
+    config = lsm_config if lsm_config is not None else LSMConfig(
+        memtable_entries=48, retry_attempts=3, seed=seed
+    )
+    detector = FailureDetector(clock)
+    store = ReplicatedStore(
+        breaker_device,
+        n_nodes=n_nodes,
+        replication=replication,
+        read_quorum=read_quorum,
+        config=config,
+        clock=clock,
+        detector=detector,
+        injector=injector,
+        seed=seed,
+    )
+    for key in range(n_keys):
+        store.put(key, f"value-{key}")
+    latency.slowdown = 1.0
+    admission = AdmissionController(clock, admission_config)
+    served = ServedFilter(
+        store, clock,
+        admission=admission, breaker_device=breaker_device,
+        default_budget=budget,
+    )
+    repairer = AntiEntropyRepairer(store, admission=admission, injector=injector)
+    return served, store, repairer, device, injector, latency, clock
+
+
+@dataclass
+class ReplicaReport:
+    """What one replicated storm did: lifecycle events, handoff and
+    repair volumes, convergence."""
+
+    events: list[tuple[float, str]] = field(default_factory=list)
+    kills: int = 0
+    heals: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    hints_journaled: int = 0
+    hints_replayed: int = 0
+    hints_dropped: int = 0
+    repairs: int = 0
+    repair_bytes: int = 0
+    buckets_checked: int = 0
+    repair_sheds: int = 0
+    converged: bool = False
+    backlog: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "events": [[t, label] for t, label in self.events],
+            "kills": self.kills,
+            "heals": self.heals,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "hints_journaled": self.hints_journaled,
+            "hints_replayed": self.hints_replayed,
+            "hints_dropped": self.hints_dropped,
+            "repairs": self.repairs,
+            "repair_bytes": self.repair_bytes,
+            "buckets_checked": self.buckets_checked,
+            "repair_sheds": self.repair_sheds,
+            "converged": self.converged,
+            "backlog": self.backlog,
+        }
+
+
+def run_replica_storm(
+    seed: int = 0,
+    n_keys: int = 2_000,
+    n_nodes: int = 3,
+    *,
+    replication: int | None = None,
+    read_quorum: int | None = None,
+    phases=None,
+    kill_at: int = 0,
+    heal_at: int = 0,
+    kill_node: int | None = None,
+    wipe: bool = False,
+    crash_at_step: str | None = None,
+    write_fraction: float = 0.0,
+    drain: bool = True,
+    **stack_kwargs,
+):
+    """A chaos storm over a replicated fleet, with a kill/heal in it.
+
+    At request *kill_at* one replica dies (``wipe=True`` destroys its
+    data too); at *heal_at* it comes back.  Every request tick pumps
+    hinted-handoff replay and anti-entropy repair at background
+    priority.  With *crash_at_step* a one-shot crash is armed at that
+    step (e.g. ``handoff.replay:applied``); when it fires, all in-memory
+    state is discarded and the fleet recovers from its devices.  After
+    the storm (``drain=True``) hints replay to exhaustion and repair
+    rounds run until digests converge.
+    Returns ``(storm_report, replica_report, store, repairer)``.
+    """
+    from repro.serve.sim import CALM_STORM_RECOVERY, run_storm
+
+    served, store, repairer, device, injector, latency, clock = (
+        build_replicated_stack(
+            seed, n_keys, n_nodes,
+            replication=replication, read_quorum=read_quorum, **stack_kwargs,
+        )
+    )
+    phases = CALM_STORM_RECOVERY if phases is None else phases
+    report = ReplicaReport()
+    victim = kill_node if kill_node is not None else (1 % n_nodes)
+    state = {"store": store, "repairer": repairer, "requests": 0}
+
+    def _absorb(old_store: ReplicatedStore, old_repairer: AntiEntropyRepairer):
+        report.hints_journaled += old_store.handoff.journaled
+        report.hints_replayed += old_store.handoff.replayed
+        report.hints_dropped += old_store.handoff.dropped
+        report.repairs += old_repairer.repairs
+        report.repair_bytes += old_repairer.repair_bytes
+        report.buckets_checked += old_repairer.buckets_checked
+        report.repair_sheds += old_repairer.sheds
+
+    def _recover(where: str) -> None:
+        report.crashes += 1
+        old_store, old_repairer = state["store"], state["repairer"]
+        _absorb(old_store, old_repairer)
+        # Breakers are process state, not durable state: the restarted
+        # process starts with every circuit closed, so a breaker the
+        # pre-crash storm tripped cannot fast-fail recovery's own reads.
+        if isinstance(old_store.device, BreakerDevice):
+            old_store.device.reset()
+        new_store = ReplicatedStore.recover(
+            old_store.device, clock=clock,
+            detector=FailureDetector(clock), injector=injector,
+            config=old_store.config,
+        )
+        new_repairer = AntiEntropyRepairer(
+            new_store, admission=served.admission, injector=injector
+        )
+        served.backend = new_store
+        state["store"], state["repairer"] = new_store, new_repairer
+        report.recoveries += 1
+        report.events.append((clock.now(), f"recovered:{where}"))
+
+    wrng = random.Random(seed ^ 0x3317E)
+
+    def ticker(arrival: float) -> None:
+        state["requests"] += 1
+        n = state["requests"]
+        if write_fraction and wrng.random() < write_fraction:
+            key = wrng.randrange(n_keys)
+            state["writes"] = state.get("writes", 0) + 1
+            try:
+                state["store"].put(key, f"value-{key}-u{state['writes']}")
+            except (TransientIOError, CircuitOpenError):
+                pass
+        if kill_at > 0 and n == kill_at:
+            if crash_at_step:
+                injector.crash_after(crash_at_step)
+            state["store"].kill(victim, wipe=wipe)
+            report.kills += 1
+            report.events.append((clock.now(), f"kill:r{victim}"))
+            return
+        if heal_at > 0 and n == heal_at:
+            state["store"].heal(victim)
+            report.heals += 1
+            report.events.append((clock.now(), f"heal:r{victim}"))
+            return
+        try:
+            # Alternate the two background pumps so neither starves.
+            # Replay gets the same idle-runway gate the repair pump
+            # applies internally: background convergence I/O must not
+            # stall the serial device while foreground traffic is hot.
+            if n % 2:
+                if arrival - clock.now() >= 0.003:
+                    state["store"].handoff.replay(batch=4)
+            else:
+                state["repairer"].pump(arrival)
+        except SimulatedCrash as crash:
+            report.events.append((clock.now(), f"crash:{crash.step}"))
+            _recover(crash.step)
+
+    storm = run_storm(served, phases, seed=seed, n_keys=n_keys, ticker=ticker)
+
+    if drain:
+        # Full convergence is the drain's contract, and a dead replica
+        # can neither take its hints nor be digest-checked (converged()
+        # is alive-only) — so first bring back every node still down,
+        # including any boot-tainted by a mid-storm crash recovery.
+        for node_id, node in sorted(state["store"].nodes.items()):
+            if not node.alive:
+                state["store"].heal(node_id)
+                report.heals += 1
+                report.events.append((clock.now(), f"drain-heal:r{node_id}"))
+        guard = 0
+        while guard < 10_000:
+            guard += 1
+            try:
+                if state["store"].handoff.replay(batch=16, force=True):
+                    continue
+                state["repairer"].pump(force=True)
+                # One converged check per completed round keeps the
+                # drain's own scan bill bounded.
+                if state["repairer"].idle and state["repairer"].converged():
+                    break
+            except SimulatedCrash as crash:
+                report.events.append((clock.now(), f"crash:{crash.step}"))
+                _recover(f"drain:{crash.step}")
+
+    final_store, final_repairer = state["store"], state["repairer"]
+    _absorb(final_store, final_repairer)
+    report.converged = final_repairer.converged()
+    report.backlog = final_store.handoff.pending()
+    final_store.publish_gauges()
+    final_repairer.publish_gauges()
+    return storm, report, final_store, final_repairer

@@ -58,11 +58,13 @@ from repro.common.faults import (
 from repro.common.storage import NamespacedDevice
 from repro.core.errors import ChecksumError
 from repro.core.routing import (
+    SHARD_SALT,
     ConsistentHashRouter,
     HashRangeRouter,
     Router,
     router_from_manifest,
 )
+from repro.common.hashing import hash64
 from repro.core.serialize import frame, unframe
 from repro.obs.metrics import default_registry
 from repro.serve.admission import AdmissionConfig, AdmissionController, Priority
@@ -214,6 +216,19 @@ class ShardedStore:
             sid: tree.n_entries_on_disk + len(tree._memtable)
             for sid, tree in self.shards.items()
         }
+
+    def key_histogram(self, shard_id: int) -> list[int]:
+        """The 64-bit routing-hash points of *shard_id*'s live keys.
+
+        One full shard scan (charged through the device, so callers
+        should sample this at planning time, not per request).  Feed to
+        :meth:`HashRangeRouter.split` for a data-driven cut at the
+        observed median instead of the geometric midpoint.
+        """
+        salt = getattr(self.router, "seed", 0) ^ SHARD_SALT
+        return [
+            hash64(key, salt) for key, _ in self.shards[shard_id].items()
+        ]
 
     @property
     def mutation_epoch(self) -> int:
@@ -493,9 +508,20 @@ class ReshardCoordinator:
     # -- planning ----------------------------------------------------------------
 
     def plan_split(
-        self, source: int | None = None, target: int | None = None
+        self,
+        source: int | None = None,
+        target: int | None = None,
+        *,
+        data_driven: bool = False,
     ) -> MigrationState:
-        """Split the hottest (or given) shard's range onto a new shard."""
+        """Split the hottest (or given) shard's range onto a new shard.
+
+        With ``data_driven=True`` the cut point comes from the source
+        shard's observed key-hash histogram (median of the busiest
+        range) instead of the geometric midpoint — a balanced split even
+        when the stored keys cluster in one corner of the hash space.
+        The histogram scan is charged at planning time, once.
+        """
         router = self._require_idle()
         if not isinstance(router, HashRangeRouter):
             raise TypeError("split requires a HashRangeRouter")
@@ -504,7 +530,8 @@ class ReshardCoordinator:
             source = max(sorted(sizes), key=sizes.__getitem__)
         if target is None:
             target = max(self.store.shards) + 1
-        new_router = router.split(source, target)
+        histogram = self.store.key_histogram(source) if data_driven else None
+        new_router = router.split(source, target, histogram=histogram)
         mig = MigrationState("split", source, target, router, new_router)
         self._install_plan(mig, open_target=True)
         return mig

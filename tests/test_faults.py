@@ -107,6 +107,64 @@ class TestCrashPoints:
         with pytest.raises(SimulatedCrash):
             inj.maybe_crash("new.step")
 
+    def test_fired_step_stays_disarmed_across_rearm_attempts(self):
+        # Recovery paths re-execute setup code verbatim, including the
+        # crash_after call that armed the original crash.  Re-arming a
+        # step that already fired must be a no-op or recovery crash-loops.
+        inj = FaultInjector(seed=0)
+        inj.crash_after("handoff.replay")
+        with pytest.raises(SimulatedCrash):
+            inj.maybe_crash("handoff.replay")
+        inj.crash_after("handoff.replay")  # recovery re-arms verbatim
+        assert inj.armed_crash is None
+        inj.maybe_crash("handoff.replay")  # replay survives
+        assert inj.crashes == 1
+
+    def test_rearm_true_fires_the_same_step_again(self):
+        inj = FaultInjector(seed=0)
+        inj.crash_after("handoff.replay")
+        with pytest.raises(SimulatedCrash):
+            inj.maybe_crash("handoff.replay")
+        inj.crash_after("handoff.replay", rearm=True)
+        with pytest.raises(SimulatedCrash):
+            inj.maybe_crash("handoff.replay")
+        assert inj.crashes == 2
+
+    def test_fired_step_does_not_block_other_steps(self):
+        inj = FaultInjector(seed=0)
+        inj.crash_after("step.a")
+        with pytest.raises(SimulatedCrash):
+            inj.maybe_crash("step.a")
+        inj.crash_after("step.b")  # a different step arms normally
+        with pytest.raises(SimulatedCrash):
+            inj.maybe_crash("step.b")
+
+
+class TestScopedRates:
+    """``"class@namespace"`` rate keys target one namespace's devices."""
+
+    def test_scoped_key_wins_over_class_and_wildcard(self):
+        inj = FaultInjector(
+            seed=1, transient_read={"run@r1": 1.0, "run": 0.0, "*": 0.0}
+        )
+        # NamespacedDevice address shape: (cls, namespace, *rest).
+        assert inj.draw_read(("run", "r1", 0, 4))
+        assert not inj.draw_read(("run", "r2", 0, 4))
+        assert not inj.draw_read(("wal", "r1", 7))
+
+    def test_unscoped_spec_ignores_namespace(self):
+        inj = FaultInjector(seed=1, transient_read={"run": 1.0, "*": 0.0})
+        assert inj.draw_read(("run", "r1", 0, 4))
+        assert inj.draw_read(("run", 3))
+        assert not inj.draw_read(("wal", "r1", 7))
+
+    def test_address_scope_shape(self):
+        from repro.common.faults import address_scope
+
+        assert address_scope(("run", "r2", 0, 4)) == "run@r2"
+        assert address_scope(("wal", 7)) is None  # no namespace element
+        assert address_scope("manifest") is None
+
 
 class TestFaultyBlockDevice:
     def test_clean_passthrough(self):

@@ -77,6 +77,11 @@ class CuckooFilterMachine(RuleBasedStateMachine):
     def insert(self, key):
         if len(self.cf) >= int(self.cf.n_slots * 0.9):
             return
+        # A key fits in at most two buckets, so the structure can hold at
+        # most 2*bucket_size copies of it; further duplicates are a legal
+        # FilterFullError, not a bug.
+        if self.members.get(key, 0) >= 2 * self.cf.bucket_size:
+            return
         self.cf.insert(key)
         self.members[key] = self.members.get(key, 0) + 1
 
