@@ -33,6 +33,7 @@ _REPO = os.path.dirname(_HERE)
 DEFAULT_BASELINE = os.path.join(_REPO, "benchmarks", "BENCH_baseline.json")
 DEFAULT_SNAPSHOT = os.path.join(_REPO, "benchmarks", "bench_t4_batch.json")
 DEFAULT_RESHARD = os.path.join(_REPO, "benchmarks", "bench_r3_reshard.json")
+DEFAULT_TENANT = os.path.join(_REPO, "benchmarks", "bench_r5_tenant.json")
 
 
 def compare(baseline: dict, snapshot: dict, tolerance: float):
@@ -84,6 +85,66 @@ def check_reshard(path: str, floor: float = 0.7) -> list[str]:
     return warnings
 
 
+def check_tenant(path: str, ratio_ceiling: float = 0.2) -> list[str]:
+    """Warn-only check of the tenant-router snapshot, if present.
+
+    The R5 bench (``bench_r5_tenant.py``) records router-vs-flat probe
+    counts per fleet size plus a same-storm goodput comparison.  Gates:
+
+    * probe ratio at the largest measured fleet (and specifically at any
+      fleet >= 10k tenants) must stay <= *ratio_ceiling* — the Bloofi
+      descent must keep beating the O(N) fan-out by 5x;
+    * zero false negatives and zero router/flat divergences anywhere —
+      probe savings must never change an answer;
+    * router goodput >= flat goodput under the identical storm.
+
+    Same-run ratios on one machine, so shared-runner-safe to enforce
+    strictly.  Missing snapshot = skipped.
+    """
+    try:
+        with open(path) as fh:
+            snap = json.load(fh)
+    except OSError:
+        return []
+    except ValueError as exc:
+        return [f"tenant snapshot {path} unreadable: {exc}"]
+    warnings = []
+    series = snap.get("series", [])
+    if not series:
+        return [f"tenant snapshot {path} has no probe series"]
+    for row in series:
+        n = row.get("n_tenants", 0)
+        ratio = row.get("ratio")
+        if ratio is None:
+            warnings.append(f"tenant series row for n={n} missing ratio")
+            continue
+        if row.get("false_negatives", 1) != 0:
+            warnings.append(f"tenant router false negatives at n={n}")
+        if row.get("divergences", 1) != 0:
+            warnings.append(f"router/flat answer divergence at n={n}")
+        if (n >= 10_000 or row is series[-1]) and ratio > ratio_ceiling:
+            warnings.append(
+                f"router probe ratio {ratio:.4f} at {n} tenants exceeds "
+                f"{ratio_ceiling:.0%} of flat fan-out"
+            )
+    top = series[-1]
+    print(f"perf-gate: tenant probe ratio {top.get('ratio', float('nan')):.4f} "
+          f"at {top.get('n_tenants')} tenants "
+          f"(ceiling {ratio_ceiling:.0%} of flat fan-out)")
+    goodput = snap.get("goodput", {})
+    router_g = goodput.get("router", {}).get("goodput")
+    flat_g = goodput.get("flat", {}).get("goodput")
+    if router_g is not None and flat_g is not None:
+        print(f"perf-gate: tenant goodput router {router_g:.3f} vs "
+              f"flat {flat_g:.3f} under the identical storm")
+        if router_g < flat_g:
+            warnings.append(
+                f"router goodput {router_g:.3f} below flat fan-out "
+                f"{flat_g:.3f} — the descent is costing more than it saves"
+            )
+    return warnings
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
@@ -104,6 +165,18 @@ def main(argv: list[str] | None = None) -> int:
              "default (fail under --strict) and are skipped when the "
              "file is absent",
     )
+    parser.add_argument(
+        "--tenant-snapshot", default=DEFAULT_TENANT,
+        help="bench_r5_tenant.py snapshot; probe-ratio and goodput "
+             "checks warn by default (fail under --strict) and are "
+             "skipped when the file is absent",
+    )
+    parser.add_argument(
+        "--tenant-ratio-ceiling", type=float, default=0.2,
+        help="max allowed router/flat probe ratio at >= 10k tenants "
+             "(default 0.2 = the router must probe at most a fifth of "
+             "what flat fan-out probes)",
+    )
     args = parser.parse_args(argv)
 
     # Independent of the t4 snapshot, so it runs (and prints) even in CI
@@ -114,6 +187,11 @@ def main(argv: list[str] | None = None) -> int:
     label = "FAIL" if args.strict else "WARN"
     for warning in reshard_warnings:
         print(f"perf-gate: {label} (reshard) — {warning}")
+    tenant_warnings = check_tenant(
+        args.tenant_snapshot, args.tenant_ratio_ceiling
+    )
+    for warning in tenant_warnings:
+        print(f"perf-gate: {label} (tenant) — {warning}")
 
     try:
         with open(args.baseline) as fh:
@@ -156,6 +234,10 @@ def main(argv: list[str] | None = None) -> int:
         print("perf-gate: all families within tolerance")
     if args.strict and reshard_warnings:
         print(f"perf-gate: FAIL — {len(reshard_warnings)} reshard goodput "
+              "check(s) failed")
+        return 1
+    if args.strict and tenant_warnings:
+        print(f"perf-gate: FAIL — {len(tenant_warnings)} tenant router "
               "check(s) failed")
         return 1
     return 0

@@ -24,6 +24,9 @@ serve-sim [--seed S] [--n-requests N] [--fault-rate R] [--budget-ms B]
           [--crash-at-step STEP] [--journal-out PATH]
           [--replicas R] [--repl-quorum Q] [--kill-replica-at REQ]
           [--heal-at REQ] [--wipe-replica]
+          [--tenants N] [--tenant-zipf S] [--tenant-churn EVERY]
+          [--tenant-quota RATE] [--tenant-mode router|flat]
+          [--tenant-trees T]
     Run a calm → storm → recovery chaos schedule through the deadline-
     aware serving layer (docs/robustness.md) and print the per-phase
     outcome table, breaker transitions, and served-latency tail.
@@ -41,6 +44,13 @@ serve-sim [--seed S] [--n-requests N] [--fault-rate R] [--budget-ms B]
     data too, and ``--crash-at-step`` also accepts handoff-replay steps
     (``handoff.replay``, ``handoff.replay:applied``,
     ``handoff.replay:batch``) for the replica-chaos CI job.
+    ``--tenants`` serves a multi-tenant fleet behind the Bloofi
+    filter-of-filters router instead (O(log N) probes per lookup;
+    docs/robustness.md): ``--tenant-zipf`` sets the traffic skew,
+    ``--tenant-churn`` deprovisions/provisions one tenant every that
+    many requests mid-storm, ``--tenant-quota`` enables per-tenant
+    token-bucket admission at that rate, and ``--tenant-mode flat``
+    runs the O(N) fan-out control the router is benchmarked against.
 
 (For end-to-end demonstrations, run the scripts in ``examples/``.)
 """
@@ -235,6 +245,8 @@ def _cmd_serve_sim(args) -> int:
         return _serve_sim_sharded(args, phases)
     if args.replicas > 0:
         return _serve_sim_replicated(args, phases)
+    if args.tenants > 0:
+        return _serve_sim_tenant(args, phases)
     with obs.use_registry():
         served, tree, _device, _injector, _latency, _clock = build_stack(
             seed=args.seed, n_keys=args.n_keys, budget=args.budget_ms / 1000.0,
@@ -420,6 +432,66 @@ def _serve_sim_replicated(args, phases) -> int:
     return 0 if ok else 1
 
 
+def _serve_sim_tenant(args, phases) -> int:
+    """serve-sim over the multi-tenant Bloofi fleet.
+
+    Exit status is non-zero on any false negative (mid-storm or in the
+    post-drain ground-truth audit) or on a tree invariant failure — the
+    conditions the tenant-chaos CI job gates on.
+    """
+    from repro import obs
+    from repro.serve import ServeOutcome, TenantQuota, run_tenant_storm
+
+    quota = (
+        TenantQuota(rate=args.tenant_quota, burst=max(1.0, args.tenant_quota / 10))
+        if args.tenant_quota > 0 else None
+    )
+    with obs.use_registry():
+        storm, rep, store = run_tenant_storm(
+            seed=args.seed,
+            n_tenants=args.tenants,
+            n_trees=args.tenant_trees,
+            mode=args.tenant_mode,
+            phases=phases,
+            zipf_skew=args.tenant_zipf,
+            churn_every=args.tenant_churn,
+            quota=quota,
+            budget=args.budget_ms / 1000.0,
+        )
+        header = (f"{'phase':10s} {'requests':>8s} "
+                  + "".join(f"{o.value:>10s}" for o in ServeOutcome)
+                  + f" {'p99 (ms)':>9s}")
+        print(f"tenant storm: {storm.n_requests} requests over "
+              f"{rep.n_tenants_start} tenants ({args.tenant_trees} trees, "
+              f"mode {args.tenant_mode}, zipf {args.tenant_zipf}), "
+              f"fault rate {args.fault_rate}, seed {args.seed}")
+        print(header)
+        print("-" * len(header))
+        for p in storm.phases:
+            print(f"{p.name:10s} {p.n_requests:8d} "
+                  + "".join(f"{p.outcomes[o]:10d}" for o in ServeOutcome)
+                  + f" {1e3 * p.latency_quantile(0.99):9.2f}")
+        print(f"\ngoodput (served/total): {storm.goodput():.3f}")
+        print(f"false negatives: {storm.false_negatives} (must be 0)")
+        print(f"mean probes per lookup: {rep.mean_probes:.1f} "
+              f"(flat fan-out would be >= {rep.n_tenants_final})")
+        print(f"fleet: {rep.n_tenants_final} tenants, max tree height "
+              f"{rep.max_height}, {rep.tenants_added} provisioned / "
+              f"{rep.tenants_removed} deprovisioned mid-storm")
+        if quota is not None:
+            print(f"quota sheds: {rep.quota_sheds} "
+                  f"(rate {args.tenant_quota:g}/s per tenant)")
+        print(f"staleness: {rep.stale_fraction:.4f} of interior bits "
+              f"pre-re-OR, {rep.stale_bits_cleared} cleared, "
+              f"{rep.reor_runs} re-OR runs")
+        print(f"post-drain audit: {rep.audited_keys} keys checked, "
+              f"{rep.audit_false_negatives} lost (must be 0), "
+              f"{rep.invariant_failures} invariant failures (must be 0)")
+    ok = (storm.false_negatives == 0 and rep.audit_false_negatives == 0
+          and rep.invariant_failures == 0)
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -495,6 +567,27 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--heal-at", type=int, default=0,
                          help="heal the killed replica at this request "
                               "number (0 = never during the storm)")
+    p_serve.add_argument("--tenants", type=int, default=0,
+                         help="serve a multi-tenant fleet behind the Bloofi "
+                              "router (0 = the classic single-tree stack; "
+                              "mutually exclusive with --shards/--replicas)")
+    p_serve.add_argument("--tenant-zipf", type=float, default=1.1,
+                         help="Zipf skew of per-tenant traffic "
+                              "(0 = uniform; requires --tenants)")
+    p_serve.add_argument("--tenant-churn", type=int, default=0,
+                         help="deprovision+provision one tenant every N "
+                              "requests mid-storm (0 disables; requires "
+                              "--tenants)")
+    p_serve.add_argument("--tenant-quota", type=float, default=0.0,
+                         help="per-tenant token-bucket admission rate in "
+                              "requests/s (0 disables; requires --tenants)")
+    p_serve.add_argument("--tenant-mode", choices=["router", "flat"],
+                         default="router",
+                         help="Bloofi router (O(log N) probes) or the flat "
+                              "fan-out control (O(N) probes)")
+    p_serve.add_argument("--tenant-trees", type=int, default=4,
+                         help="number of Bloofi trees the fleet is "
+                              "consistent-hashed over")
     p_serve.add_argument("--wipe-replica", action="store_true",
                          help="destroy the killed replica's data, forcing "
                               "anti-entropy to rebuild it")
@@ -529,6 +622,17 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--replicas must be non-negative")
         if args.replicas > 0 and args.shards > 0:
             parser.error("--replicas and --shards are mutually exclusive")
+        if args.tenants < 0:
+            parser.error("--tenants must be non-negative")
+        if args.tenants > 0 and (args.shards > 0 or args.replicas > 0):
+            parser.error("--tenants is mutually exclusive with "
+                         "--shards/--replicas")
+        if args.tenant_churn > 0 and args.tenants <= 0:
+            parser.error("--tenant-churn requires --tenants")
+        if args.tenant_quota > 0 and args.tenants <= 0:
+            parser.error("--tenant-quota requires --tenants")
+        if args.tenant_trees < 1:
+            parser.error("--tenant-trees must be positive")
         if args.reshard_at > 0 and args.shards <= 0:
             parser.error("--reshard-at requires --shards")
         if args.kill_replica_at > 0 and args.replicas <= 0:

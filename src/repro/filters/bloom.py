@@ -72,6 +72,16 @@ class BloomFilter(DynamicFilter):
         i = np.arange(self._k, dtype=np.uint64)
         return (h1[:, None] + i[None, :] * h2[:, None]) % np.uint64(self._m)
 
+    def bit_positions(self, key: Key) -> np.ndarray:
+        """The k probe positions for *key* as an int64 array.
+
+        Public so aggregating structures that share this filter's
+        geometry — the Bloofi tree ORs same-shape leaves and must test
+        the *identical* bits (:mod:`repro.core.bloofi`) — can compute a
+        key's probe set once and reuse it at every level.
+        """
+        return np.asarray(self._positions(key), dtype=np.int64)
+
     def insert(self, key: Key) -> None:
         for pos in self._positions(key):
             self._bits.set(pos)

@@ -19,6 +19,7 @@ from repro.serve.admission import (
     AdmissionDecision,
     AdmissionStats,
     Priority,
+    TenantQuota,
 )
 from repro.serve.breaker import BreakerDevice, BreakerState, CircuitBreaker
 from repro.serve.served import ServedFilter, ServedResponse, ServeOutcome
@@ -38,6 +39,16 @@ from repro.serve.reshard import (
     ShardedStore,
     build_sharded_stack,
     run_reshard_storm,
+)
+from repro.serve.tenant import (
+    TENANT_STORM,
+    TenantConfig,
+    TenantLookup,
+    TenantReport,
+    TenantRouter,
+    TenantStore,
+    build_tenant_stack,
+    run_tenant_storm,
 )
 from repro.serve.replica import (
     AntiEntropyRepairer,
@@ -86,4 +97,13 @@ __all__ = [
     "ReplicatedStore",
     "build_replicated_stack",
     "run_replica_storm",
+    "TENANT_STORM",
+    "TenantConfig",
+    "TenantLookup",
+    "TenantQuota",
+    "TenantReport",
+    "TenantRouter",
+    "TenantStore",
+    "build_tenant_stack",
+    "run_tenant_storm",
 ]

@@ -33,6 +33,26 @@ class Priority(enum.IntEnum):
     LOW = 2
 
 
+@dataclass(frozen=True)
+class TenantQuota:
+    """Token-bucket rate limit applied per tenant.
+
+    ``rate`` tokens refill per simulated second up to ``burst``; a
+    request with no token is shed with reason ``"tenant_quota"``.  One
+    noisy tenant exhausts its own bucket and nothing else — the global
+    queue-delay gates still protect the server as a whole.
+    """
+
+    rate: float = 100.0
+    burst: float = 20.0
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.burst < 1:
+            raise ValueError("burst must be at least 1")
+
+
 @dataclass
 class AdmissionConfig:
     """Shed thresholds, per priority class.
@@ -41,6 +61,8 @@ class AdmissionConfig:
     seconds; a request whose class budget is already blown is shed
     rather than served late.  ``queue_capacity`` bounds the *estimated*
     backlog (queue delay / EWMA service time) — the bounded queue.
+    ``tenant_quota``, if set, additionally rate-limits each tenant with
+    its own token bucket (multi-tenant isolation: repro.serve.tenant).
     """
 
     delay_budgets: dict[Priority, float] = field(
@@ -53,6 +75,7 @@ class AdmissionConfig:
     queue_capacity: int = 128
     initial_service: float = 0.004
     ewma_alpha: float = 0.2
+    tenant_quota: TenantQuota | None = None
 
 
 @dataclass
@@ -67,6 +90,7 @@ class AdmissionStats:
     admitted: int = 0
     shed: int = 0
     shed_by_priority: dict = field(default_factory=dict)
+    shed_by_tenant: dict = field(default_factory=dict)
 
     def shed_rate(self) -> float:
         total = self.admitted + self.shed
@@ -81,6 +105,9 @@ class AdmissionController:
         self.config = config if config is not None else AdmissionConfig()
         self.stats = AdmissionStats()
         self.service_ewma = self.config.initial_service
+        # tenant -> (tokens, last refill time); lazily created, dropped
+        # again by forget_tenant() when the tenant is deprovisioned.
+        self._buckets: dict[Any, tuple[float, float]] = {}
 
     def queue_delay(self, arrival: float) -> float:
         """How long a request that arrived at *arrival* has waited."""
@@ -92,7 +119,25 @@ class AdmissionController:
             return 0.0
         return self.queue_delay(arrival) / self.service_ewma
 
-    def admit(self, arrival: float, priority: Priority) -> AdmissionDecision:
+    def _take_token(self, tenant: Any) -> bool:
+        """Refill *tenant*'s bucket to now, then try to spend one token."""
+        quota = self.config.tenant_quota
+        now = self.clock.now()
+        tokens, last = self._buckets.get(tenant, (quota.burst, now))
+        tokens = min(quota.burst, tokens + (now - last) * quota.rate)
+        if tokens < 1.0:
+            self._buckets[tenant] = (tokens, now)
+            return False
+        self._buckets[tenant] = (tokens - 1.0, now)
+        return True
+
+    def forget_tenant(self, tenant: Any) -> None:
+        """Drop *tenant*'s bucket state (tenant deprovisioned)."""
+        self._buckets.pop(tenant, None)
+
+    def admit(
+        self, arrival: float, priority: Priority, *, tenant: Any = None
+    ) -> AdmissionDecision:
         delay = self.queue_delay(arrival)
         default_registry().histogram(
             "repro_serve_queue_delay_seconds",
@@ -103,11 +148,21 @@ class AdmissionController:
             reason = "queue_delay"
         elif self.backlog_estimate(arrival) > self.config.queue_capacity:
             reason = "queue_full"
+        elif (
+            tenant is not None
+            and self.config.tenant_quota is not None
+            and not self._take_token(tenant)
+        ):
+            reason = "tenant_quota"
         if reason is not None:
             self.stats.shed += 1
             self.stats.shed_by_priority[priority] = (
                 self.stats.shed_by_priority.get(priority, 0) + 1
             )
+            if reason == "tenant_quota":
+                self.stats.shed_by_tenant[tenant] = (
+                    self.stats.shed_by_tenant.get(tenant, 0) + 1
+                )
             default_registry().counter(
                 "repro_serve_shed_total",
                 "requests shed at admission, by priority and reason",

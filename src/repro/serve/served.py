@@ -120,12 +120,15 @@ class ServedFilter:
         deadline: float | Deadline | None = None,
         priority: Priority = Priority.NORMAL,
         arrival: float | None = None,
+        tenant: Any = None,
     ) -> ServedResponse:
         """:meth:`query` with explicit arrival time, for load generators.
 
         *arrival* may lie in the past (the request queued behind slower
         ones — its queue delay counts against the deadline) or in the
-        future (the server idles forward to it).
+        future (the server idles forward to it).  *tenant*, if given, is
+        billed against that tenant's quota bucket at admission (a quota
+        shed is a MAYBE like any other shed).
         """
         if arrival is None:
             arrival = self.clock.now()
@@ -140,7 +143,7 @@ class ServedFilter:
         )
 
         if self.admission is not None:
-            decision = self.admission.admit(arrival, priority)
+            decision = self.admission.admit(arrival, priority, tenant=tenant)
             response.queue_delay = decision.queue_delay
             if not decision.admitted:
                 # Shed before any work: the safe answer is always-maybe.

@@ -1,0 +1,737 @@
+"""Multi-tenant serving: a Bloofi filter-of-filters router for the fleet.
+
+The fleet problem: thousands-to-millions of tenants, each with its own
+filter, and a global question — *which tenant may hold this key?*
+``ShardedFilter`` answers it by probing every shard, O(N) filter reads
+per lookup.  This module answers it in O(log N):
+
+* :class:`TenantRouter` places every tenant onto one of a few
+  :class:`~repro.core.bloofi.BloofiTree` s via the existing
+  :class:`~repro.core.routing.ConsistentHashRouter` (so tenant
+  arrival/departure moves ~1/T of the fleet, same placement math as the
+  replica tier).  Each tenant has a *summary* Bloom leaf inside its
+  tree plus an *authoritative* per-tenant filter (any registry family —
+  the differential suite runs them all); a lookup descends the trees'
+  interior ORs, touches only MAYBE subtrees, and confirms each surviving
+  candidate against its authoritative filter.
+* :class:`TenantStore` is the deadline-aware backend
+  (``lookup(key, deadline=..., degrade_on_error=...)`` →
+  :class:`~repro.common.clock.LookupResult`) that charges simulated
+  latency per filter probe, draws chaos from the shared
+  :class:`~repro.common.faults.FaultInjector`, and resolves candidates
+  against ground truth.  Tri-state contract as everywhere else:
+  PRESENT on a ground-truth hit, ABSENT only when every tenant was
+  ruled out cleanly, MAYBE whenever chaos or the deadline got in the
+  way.  A degraded interior node *widens* the descent (all children
+  visited); a degraded leaf or store read *forces* its tenant into the
+  candidate set — degradation can cost probes, never a false ABSENT.
+* :func:`run_tenant_storm` drives Zipf-distributed multi-tenant traffic
+  (per-tenant quota buckets at admission, tenant churn mid-storm) and
+  audits the invariants after the drain.
+
+``serve-sim --tenants N --tenant-zipf S`` is the CLI surface;
+``benchmarks/bench_r5_tenant.py`` measures router-vs-flat probe counts
+and goodput; docs/robustness.md tells the story.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.common.clock import Answer, Deadline, LookupResult, SimulatedClock
+from repro.common.faults import FaultInjector, LatencyInjector
+from repro.core.bloofi import BloofiConfig, BloofiTree
+from repro.core.routing import ConsistentHashRouter
+from repro.filters.bloom import BloomFilter
+from repro.obs.metrics import default_registry
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    Priority,
+    TenantQuota,
+)
+from repro.serve.served import ServedFilter, ServeOutcome
+from repro.serve.sim import PhaseReport, StormPhase, StormReport
+from repro.workloads.synthetic import zipf_queries
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Fleet shape: how many Bloofi trees, and each tree's geometry."""
+
+    n_trees: int = 4
+    leaf_capacity: int = 64
+    epsilon: float = 0.01
+    seed: int = 0
+    max_fanout: int = 8
+    reor_interval: int = 64
+    vnodes: int = 16
+
+    def __post_init__(self):
+        if self.n_trees < 1:
+            raise ValueError("n_trees must be positive")
+
+    def bloofi_config(self) -> BloofiConfig:
+        return BloofiConfig(
+            leaf_capacity=self.leaf_capacity,
+            epsilon=self.epsilon,
+            seed=self.seed,
+            max_fanout=self.max_fanout,
+            reor_interval=self.reor_interval,
+        )
+
+
+@dataclass
+class TenantLookup:
+    """One fleet lookup's candidates plus full probe accounting.
+
+    ``tenants`` is the final candidate set (summary said MAYBE *and* the
+    authoritative filter could not rule the tenant out).  ``probes`` is
+    every filter actually read — tree nodes, summary leaves, and
+    authoritative confirmations — the number the router-vs-flat
+    benchmark compares.  Degradation only ever adds names to
+    ``tenants``/``forced``; it never removes them.
+    """
+
+    tenants: list = field(default_factory=list)
+    probes: int = 0
+    probes_by_level: dict[int, int] = field(default_factory=dict)
+    auth_probes: int = 0
+    degraded_descents: int = 0
+    forced: list = field(default_factory=list)
+
+
+class TenantRouter:
+    """Consistent-hash placement of tenants over Bloofi trees.
+
+    *filter_factory*, if given, builds each tenant's authoritative
+    filter (``factory(tenant) -> Filter``); the default is a Bloom
+    filter sized like the summary leaves.  The differential suite
+    injects every registry family through this hook.
+    """
+
+    def __init__(
+        self,
+        config: TenantConfig | None = None,
+        *,
+        filter_factory: Callable[[Any], Any] | None = None,
+    ):
+        self.config = config if config is not None else TenantConfig()
+        self._placement = ConsistentHashRouter(
+            range(self.config.n_trees),
+            seed=self.config.seed,
+            vnodes=self.config.vnodes,
+        )
+        self.trees: dict[int, BloofiTree] = {
+            tid: BloofiTree(self.config.bloofi_config())
+            for tid in self._placement.shard_ids()
+        }
+        self._filter_factory = filter_factory
+        self._auth: dict[Any, Any] = {}
+        self._home: dict[Any, int] = {}
+        # Bumped on every mutation; versions the stacked flat-probe
+        # matrix and any caller-side caches (negative cache epoch).
+        self.mutations = 0
+        self._flat_cache: tuple[int, list, np.ndarray] | None = None
+
+    # -- fleet membership --------------------------------------------------------
+
+    @property
+    def n_tenants(self) -> int:
+        return len(self._auth)
+
+    def __contains__(self, tenant) -> bool:
+        return tenant in self._auth
+
+    def tenant_ids(self) -> list:
+        return list(self._auth)
+
+    def tree_of(self, tenant) -> int:
+        return self._home[tenant]
+
+    def authoritative(self, tenant) -> Any:
+        return self._auth[tenant]
+
+    def _make_auth(self, tenant) -> Any:
+        if self._filter_factory is not None:
+            return self._filter_factory(tenant)
+        return BloomFilter(
+            self.config.leaf_capacity, self.config.epsilon,
+            seed=self.config.seed ^ 0xA07,
+        )
+
+    def add_tenant(self, tenant, *, authoritative: Any = None) -> None:
+        if tenant in self._auth:
+            raise ValueError(f"tenant {tenant!r} is already provisioned")
+        home = self._placement.owner(tenant)
+        self.trees[home].add_tenant(tenant)
+        self._home[tenant] = home
+        self._auth[tenant] = (
+            authoritative if authoritative is not None
+            else self._make_auth(tenant)
+        )
+        self.mutations += 1
+
+    def remove_tenant(self, tenant) -> None:
+        home = self._home.pop(tenant)
+        self.trees[home].remove_tenant(tenant)
+        del self._auth[tenant]
+        self.mutations += 1
+
+    def insert(self, tenant, key) -> None:
+        """Insert into both the summary leaf and the authoritative filter.
+
+        The mutation counter bumps even if the authoritative insert
+        throws (e.g. FilterFullError): the summary leaf's bits changed
+        in place either way, and a stale flat-probe matrix would make
+        the flat oracle disagree with the tree.
+        """
+        self.trees[self._home[tenant]].insert(tenant, key)
+        try:
+            self._auth[tenant].insert(key)
+        finally:
+            self.mutations += 1
+
+    def insert_many(self, tenant, keys) -> None:
+        keys = list(keys)
+        if not keys:
+            return
+        self.trees[self._home[tenant]].insert_many(tenant, keys)
+        try:
+            self._auth[tenant].insert_many(keys)
+        finally:
+            self.mutations += 1
+
+    # -- aggregate properties ----------------------------------------------------
+
+    @property
+    def supports_deletes(self) -> bool:
+        """True only while *every* authoritative filter still takes
+        deletes.  Recomputed from the live fleet on each access — the
+        ``ShardedFilter`` lesson: a tenant added (or swapped) after a
+        cached answer can silently change it (tests/test_tenant.py).
+        """
+        return bool(self._auth) and all(
+            getattr(f, "supports_deletes", False) for f in self._auth.values()
+        )
+
+    @property
+    def size_in_bits(self) -> int:
+        return (
+            sum(t.size_in_bits for t in self.trees.values())
+            + sum(f.size_in_bits for f in self._auth.values())
+        )
+
+    def check_invariants(self) -> list[str]:
+        """Every tree's structural audit, plus placement consistency."""
+        failures = []
+        for tid, tree in self.trees.items():
+            failures.extend(f"tree {tid}: {msg}" for msg in tree.check_invariants())
+        for tenant, home in self._home.items():
+            if tenant not in self.trees[home]:
+                failures.append(f"tenant {tenant!r} missing from tree {home}")
+        if sorted(self._home, key=repr) != sorted(self._auth, key=repr):
+            failures.append("placement map and authoritative registry disagree")
+        return failures
+
+    def reor_all(self) -> int:
+        """Full re-OR of every tree; returns total stale bits cleared."""
+        return sum(tree.reor() for tree in self.trees.values())
+
+    def stale_fraction(self) -> float:
+        fractions = [t.stale_fraction() for t in self.trees.values() if len(t)]
+        return max(fractions) if fractions else 0.0
+
+    # -- lookups -----------------------------------------------------------------
+
+    def query(
+        self,
+        key,
+        *,
+        fault: Callable[[str, Any], bool] | None = None,
+    ) -> TenantLookup:
+        """Which tenants may hold *key*?  O(log N) descent per tree.
+
+        *fault*, if given, is called as ``fault(kind, detail)`` with
+        ``kind`` in ``{"node", "leaf", "auth"}``; a True return degrades
+        that read.  Degraded node → descend everything below it;
+        degraded leaf or authoritative filter → the tenant stays a
+        candidate (listed in ``forced``).  The candidate set under
+        faults is always a superset of the fault-free one.
+        """
+        result = TenantLookup()
+        for tree in self.trees.values():
+            if not len(tree):
+                continue
+            look = tree.candidates(key, fault=fault)
+            result.probes += look.probes
+            for level, n in look.probes_by_level.items():
+                result.probes_by_level[level] = (
+                    result.probes_by_level.get(level, 0) + n
+                )
+            result.degraded_descents += look.degraded_descents
+            result.forced.extend(look.degraded_leaves)
+            forced = set(look.degraded_leaves)
+            for tenant in look.tenants:
+                if tenant in forced:
+                    result.tenants.append(tenant)
+                    continue
+                if fault is not None and fault("auth", tenant):
+                    result.tenants.append(tenant)
+                    result.forced.append(tenant)
+                    continue
+                result.probes += 1
+                result.auth_probes += 1
+                if self._auth[tenant].may_contain(key):
+                    result.tenants.append(tenant)
+        return result
+
+    def _flat_matrix(self) -> tuple[list, np.ndarray]:
+        """(tenant order, stacked summary-leaf words) — rebuilt whenever
+        the fleet mutates, so the flat oracle never reads stale bits."""
+        cache = self._flat_cache
+        if cache is not None and cache[0] == self.mutations:
+            return cache[1], cache[2]
+        order = sorted(self._auth, key=repr)
+        if order:
+            rows = [
+                self.trees[self._home[t]].tenant_filter(t)._bits.words
+                for t in order
+            ]
+            matrix = np.stack(rows)
+        else:
+            matrix = np.zeros((0, 0), dtype=np.uint64)
+        self._flat_cache = (self.mutations, order, matrix)
+        return order, matrix
+
+    def query_flat(self, key) -> TenantLookup:
+        """The O(N) control: probe every tenant's summary leaf, confirm
+        positives against their authoritative filters.  Same geometry,
+        same bits, no tree — the oracle the differential suite and the
+        R5 benchmark compare :meth:`query` against.
+        """
+        result = TenantLookup()
+        order, matrix = self._flat_matrix()
+        if not order:
+            return result
+        result.probes = len(order)
+        result.probes_by_level[0] = len(order)
+        # One gather across the stacked leaf words: every leaf shares
+        # the template geometry, so one position set serves all rows.
+        tree = next(iter(self.trees.values()))
+        pos = tree._template.bit_positions(key)
+        widx, masks = pos >> 6, np.uint64(1) << (pos & 63).astype(np.uint64)
+        hits = ((matrix[:, widx] & masks) == masks).all(axis=1)
+        for i in np.flatnonzero(hits):
+            tenant = order[int(i)]
+            result.probes += 1
+            result.auth_probes += 1
+            if self._auth[tenant].may_contain(key):
+                result.tenants.append(tenant)
+        return result
+
+
+class TenantStore:
+    """Deadline-aware ground-truth store behind a :class:`TenantRouter`.
+
+    ``mode`` picks the lookup path — ``"router"`` (Bloofi descent) or
+    ``"flat"`` (full fan-out control); both resolve candidates against
+    the same per-tenant ground-truth sets, so both answer PRESENT/ABSENT
+    identically when nothing degrades — flat just pays O(N) probe
+    latency for it.
+    """
+
+    def __init__(
+        self,
+        router: TenantRouter,
+        clock: SimulatedClock,
+        *,
+        injector: FaultInjector | None = None,
+        latency: LatencyInjector | None = None,
+        mode: str = "router",
+    ):
+        if mode not in ("router", "flat"):
+            raise ValueError("mode must be 'router' or 'flat'")
+        self.router = router
+        self.clock = clock
+        self.injector = injector
+        self.latency = latency
+        self.mode = mode
+        self.truth: dict[Any, set] = {}
+        self.lookups = 0
+        self.probes_total = 0
+
+    # -- mutations (epoch-versioned for the negative cache) ----------------------
+
+    @property
+    def mutation_epoch(self) -> int:
+        return self.router.mutations
+
+    def add_tenant(self, tenant, keys=()) -> None:
+        self.router.add_tenant(tenant)
+        self.truth[tenant] = set()
+        keys = list(keys)
+        if keys:
+            self.put_many(tenant, keys)
+
+    def remove_tenant(self, tenant) -> None:
+        self.router.remove_tenant(tenant)
+        del self.truth[tenant]
+
+    def put(self, tenant, key) -> None:
+        self.router.insert(tenant, key)
+        self.truth[tenant].add(key)
+
+    def put_many(self, tenant, keys) -> None:
+        keys = list(keys)
+        self.router.insert_many(tenant, keys)
+        self.truth[tenant].update(keys)
+
+    @property
+    def n_tenants(self) -> int:
+        return self.router.n_tenants
+
+    def total_keys(self) -> int:
+        return sum(len(s) for s in self.truth.values())
+
+    # -- the deadline-aware lookup ----------------------------------------------
+
+    def _charge(self, kind: str, deadline: Deadline | None) -> bool:
+        """Advance the clock by one probe's latency; True if still in
+        budget (or no deadline)."""
+        if self.latency is not None:
+            self.clock.advance(
+                self.latency.draw(self.clock.now(), "probe", (kind,))
+            )
+        return deadline is None or not deadline.expired()
+
+    def lookup(
+        self,
+        key,
+        *,
+        deadline: Deadline | None = None,
+        degrade_on_error: bool = True,
+    ) -> LookupResult:
+        """Resolve *key* across the fleet under a deadline.
+
+        PRESENT (complete) on a ground-truth hit — set membership is
+        authoritative even if other candidates degraded.  ABSENT only
+        when every tenant was ruled out with no degradation anywhere.
+        Otherwise MAYBE, with ``reason`` saying whether the deadline or
+        a fault got there first.  ``runs_probed`` counts filter probes
+        charged, ``runs_skipped`` counts candidates left unresolved.
+        """
+        self.lookups += 1
+        fault = None
+        if self.injector is not None and self.mode == "router":
+            def fault(kind, detail):
+                return self.injector.draw_read((f"tenant_{kind}", detail))
+
+        look = (
+            self.router.query(key, fault=fault) if self.mode == "router"
+            else self.router.query_flat(key)
+        )
+        self.probes_total += look.probes
+        registry = default_registry()
+        registry.counter(
+            "repro_tenant_probes_total",
+            "filter probes spent answering fleet lookups, by mode",
+            labels=("mode",),
+        ).labels(mode=self.mode).inc(look.probes)
+        by_level = registry.counter(
+            "repro_tenant_probes_by_level_total",
+            "tree-node probes by depth (root=0; flat mode books all at 0)",
+            labels=("level",),
+        )
+        for level, n in look.probes_by_level.items():
+            by_level.labels(level=str(level)).inc(n)
+
+        # Charge simulated time probe by probe; the deadline can expire
+        # mid-scan, which in flat mode at fleet scale it routinely does.
+        for charged in range(look.probes):
+            if not self._charge("filter", deadline):
+                return LookupResult(
+                    Answer.MAYBE, complete=False, reason="deadline",
+                    runs_probed=charged + 1,
+                    runs_skipped=len(look.tenants),
+                )
+        probes = look.probes
+        degraded = look.degraded_descents > 0 or bool(look.forced)
+        skipped = 0
+        for tenant in look.tenants:
+            probes += 1
+            if not self._charge("store", deadline):
+                return LookupResult(
+                    Answer.MAYBE, complete=False, reason="deadline",
+                    runs_probed=probes,
+                    runs_skipped=1 + len(look.tenants) - look.tenants.index(tenant),
+                )
+            if self.injector is not None and self.injector.draw_read(
+                ("tenant_store", tenant)
+            ):
+                skipped += 1
+                continue
+            if key in self.truth.get(tenant, ()):
+                return LookupResult(
+                    Answer.PRESENT, value=tenant, complete=True,
+                    runs_probed=probes, runs_skipped=skipped,
+                )
+        if degraded or skipped:
+            return LookupResult(
+                Answer.MAYBE, complete=False, reason="unavailable",
+                runs_probed=probes, runs_skipped=skipped,
+            )
+        return LookupResult(
+            Answer.ABSENT, complete=True, runs_probed=probes,
+        )
+
+
+# -- the storm harness ---------------------------------------------------------
+
+
+@dataclass
+class TenantReport:
+    """Fleet-level outcome of one tenant storm."""
+
+    n_tenants_start: int = 0
+    n_tenants_final: int = 0
+    tenants_added: int = 0
+    tenants_removed: int = 0
+    quota_sheds: int = 0
+    mean_probes: float = 0.0
+    max_height: int = 0
+    reor_runs: int = 0
+    stale_fraction: float = 0.0
+    stale_bits_cleared: int = 0
+    invariant_failures: int = 0
+    audit_false_negatives: int = 0
+    audited_keys: int = 0
+
+    def as_dict(self) -> dict:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+TENANT_STORM = (
+    StormPhase("calm", 200, transient_read=0.0),
+    StormPhase("storm", 300, transient_read=0.4, slowdown=3.0, spike_prob=0.05),
+    StormPhase("recovery", 200, transient_read=0.0),
+)
+
+
+def build_tenant_stack(
+    seed: int = 0,
+    *,
+    n_tenants: int = 64,
+    keys_per_tenant: int = 8,
+    n_trees: int = 4,
+    mode: str = "router",
+    quota: TenantQuota | None = None,
+    budget: float = 0.050,
+    probe_latency: float = 2e-5,
+    admission_config: AdmissionConfig | None = None,
+):
+    """Assemble the multi-tenant serving stack, fleet pre-loaded.
+
+    Tenant *t* (ints ``0..n_tenants-1``) owns keys
+    ``t*keys_per_tenant .. (t+1)*keys_per_tenant - 1`` — ground truth
+    the storm's false-negative audit can recompute.  *probe_latency* is
+    the per-filter-probe base cost: small (a memory read, not an I/O),
+    but at fleet scale it is exactly what makes O(N) flat fan-out blow
+    its deadline while the O(log N) router cruises.
+    Returns ``(served, store, injector, latency, clock)``.
+    """
+    clock = SimulatedClock()
+    injector = FaultInjector(seed=seed)
+    latency = LatencyInjector(seed=seed, base=probe_latency)
+    latency.slowdown = 0.0  # pre-load is free, storms start at t=0
+    router = TenantRouter(TenantConfig(
+        n_trees=n_trees, leaf_capacity=max(64, keys_per_tenant), seed=seed,
+    ))
+    store = TenantStore(
+        router, clock, injector=injector, latency=latency, mode=mode,
+    )
+    for tenant in range(n_tenants):
+        base = tenant * keys_per_tenant
+        store.add_tenant(tenant, range(base, base + keys_per_tenant))
+    latency.slowdown = 1.0
+    if admission_config is None:
+        admission_config = AdmissionConfig(tenant_quota=quota)
+    elif quota is not None and admission_config.tenant_quota is None:
+        admission_config.tenant_quota = quota
+    admission = AdmissionController(clock, admission_config)
+    served = ServedFilter(
+        store, clock, admission=admission, default_budget=budget,
+    )
+    return served, store, injector, latency, clock
+
+
+def run_tenant_storm(
+    seed: int = 0,
+    *,
+    n_tenants: int = 64,
+    keys_per_tenant: int = 8,
+    n_trees: int = 4,
+    mode: str = "router",
+    phases=TENANT_STORM,
+    zipf_skew: float = 1.1,
+    churn_every: int = 0,
+    quota: TenantQuota | None = None,
+    budget: float = 0.050,
+    probe_latency: float = 2e-5,
+    present_fraction: float = 0.5,
+    priority_weights: tuple[float, float, float] = (0.2, 0.6, 0.2),
+    drain: bool = True,
+) -> tuple[StormReport, TenantReport, TenantStore]:
+    """Zipf multi-tenant traffic with optional churn; audit at the end.
+
+    Every request is attributed to a Zipf(*zipf_skew*)-picked requesting
+    tenant (billed against its quota bucket); the queried key is a live
+    tenant's key with probability *present_fraction*, else guaranteed
+    absent.  With ``churn_every > 0``, every that-many requests one
+    tenant is deprovisioned (its quota bucket dropped) and a fresh one
+    provisioned with new keys — mid-storm, under fire.
+
+    The audit after the (optional) *drain*: zero invariant failures on
+    every tree, and — with chaos switched off — every surviving
+    ground-truth key still answered PRESENT (sampled at fleet scale).
+    A present key answered ABSENT mid-storm counts as a false negative
+    in the :class:`~repro.serve.sim.StormReport`, exactly like every
+    other storm harness in this repo.
+    """
+    served, store, injector, latency, clock = build_tenant_stack(
+        seed,
+        n_tenants=n_tenants, keys_per_tenant=keys_per_tenant,
+        n_trees=n_trees, mode=mode, quota=quota, budget=budget,
+        probe_latency=probe_latency,
+    )
+    rng = random.Random(seed ^ 0x7E4A47)
+    report = StormReport()
+    tenant_report = TenantReport(n_tenants_start=store.n_tenants)
+    priorities = (Priority.HIGH, Priority.NORMAL, Priority.LOW)
+
+    live = list(range(n_tenants))
+    next_tenant = n_tenants
+    next_key = n_tenants * keys_per_tenant
+    keys_of = {t: list(store.truth[t]) for t in live}
+    absent_base = 1 << 40  # disjoint from every key the fleet will ever own
+
+    total_requests = sum(p.n_requests for p in phases)
+    # Zipf ranks over the *initial* fleet; churned-in tenants inherit a
+    # departed rank slot (live list index) so the skew profile persists.
+    rank_seq = zipf_queries(
+        list(range(max(1, n_tenants))), max(1, total_requests),
+        zipf_skew, seed=seed,
+    )
+
+    def churn(arrival: float) -> None:
+        nonlocal next_tenant, next_key
+        if len(live) > 1:
+            victim = live.pop(rng.randrange(len(live)))
+            store.remove_tenant(victim)
+            del keys_of[victim]
+            if served.admission is not None:
+                served.admission.forget_tenant(victim)
+            tenant_report.tenants_removed += 1
+        fresh_keys = range(next_key, next_key + keys_per_tenant)
+        store.add_tenant(next_tenant, fresh_keys)
+        keys_of[next_tenant] = list(fresh_keys)
+        live.append(next_tenant)
+        next_tenant += 1
+        next_key += keys_per_tenant
+        tenant_report.tenants_added += 1
+        default_registry().counter(
+            "repro_tenant_churn_total",
+            "tenant provision/deprovision events during storms",
+            labels=("op",),
+        ).labels(op="cycle").inc()
+
+    request_index = 0
+    arrival = clock.now()
+    for phase in phases:
+        injector.transient_read = {
+            "tenant_node": phase.transient_read,
+            "tenant_leaf": phase.transient_read,
+            "tenant_store": phase.transient_read,
+            "*": 0.0,
+        }
+        latency.slowdown = phase.slowdown
+        latency.spike_prob = phase.spike_prob
+        phase_report = PhaseReport(phase.name)
+        report.phases.append(phase_report)
+        for _ in range(phase.n_requests):
+            arrival += rng.expovariate(1.0 / phase.mean_interarrival)
+            if churn_every and request_index and request_index % churn_every == 0:
+                churn(arrival)
+            requester = live[rank_seq[request_index] % len(live)]
+            present = rng.random() < present_fraction
+            if present:
+                owner = live[rng.randrange(len(live))]
+                key = keys_of[owner][rng.randrange(len(keys_of[owner]))]
+            else:
+                key = absent_base + rng.randrange(1 << 30)
+            priority = rng.choices(priorities, weights=priority_weights)[0]
+            response = served.serve(
+                key, priority=priority, arrival=arrival, tenant=requester,
+            )
+            phase_report.outcomes[response.outcome] += 1
+            if response.outcome is ServeOutcome.SERVED:
+                phase_report.latencies.append(response.latency)
+            if present and response.answer is Answer.ABSENT:
+                report.false_negatives += 1
+            request_index += 1
+
+    tenant_report.quota_sheds = (
+        sum(served.admission.stats.shed_by_tenant.values())
+        if served.admission is not None else 0
+    )
+    tenant_report.n_tenants_final = store.n_tenants
+    tenant_report.mean_probes = (
+        store.probes_total / store.lookups if store.lookups else 0.0
+    )
+    tenant_report.max_height = max(
+        (t.height for t in store.router.trees.values()), default=0
+    )
+
+    if drain:
+        # Chaos off for the audit: what must hold is a property of the
+        # structures, not of a lucky fault draw.
+        injector.transient_read = 0.0
+        latency.slowdown = 0.0
+        latency.spike_prob = 0.0
+        tenant_report.stale_fraction = store.router.stale_fraction()
+        tenant_report.invariant_failures = len(store.router.check_invariants())
+        tenant_report.stale_bits_cleared = store.router.reor_all()
+        tenant_report.invariant_failures += len(store.router.check_invariants())
+        all_keys = [(t, k) for t in live for k in keys_of[t]]
+        sample = (
+            all_keys if len(all_keys) <= 2_000
+            else rng.sample(all_keys, 2_000)
+        )
+        for tenant, key in sample:
+            result = store.lookup(key)
+            tenant_report.audited_keys += 1
+            if result.state is Answer.ABSENT or (
+                result.state is Answer.PRESENT and result.value != tenant
+            ):
+                tenant_report.audit_false_negatives += 1
+    tenant_report.reor_runs = sum(
+        t.reor_runs for t in store.router.trees.values()
+    )
+
+    registry = default_registry()
+    registry.gauge(
+        "repro_tenant_fleet_size", "live tenants in the fleet"
+    ).set(store.n_tenants)
+    registry.gauge(
+        "repro_tenant_stale_fraction",
+        "max stale interior-OR bit fraction across trees (pre-re-OR)",
+    ).set(tenant_report.stale_fraction)
+    registry.gauge(
+        "repro_tenant_tree_height", "max Bloofi tree height in the fleet"
+    ).set(tenant_report.max_height)
+    served.publish_gauges()
+    return report, tenant_report, store

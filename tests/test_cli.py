@@ -100,3 +100,41 @@ class TestTraceCommand:
         assert "device.read" in out
         assert "retry.attempt" in out
         assert "probe trees" in out
+
+
+class TestServeSimTenantCommand:
+    """serve-sim --tenants drives the Bloofi fleet end to end: the exit
+    code is the contract (nonzero on any false negative, lost audit key,
+    or tree-invariant violation), and the report must surface the
+    numbers the tenant-chaos CI job greps for."""
+
+    _BASE = ["serve-sim", "--seed", "3", "--tenants", "32",
+             "--n-requests", "180"]
+
+    def test_router_storm_exits_clean(self, capsys):
+        assert main([*self._BASE, "--tenant-churn", "6",
+                     "--tenant-quota", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "false negatives: 0" in out
+        assert "post-drain audit" in out
+        assert "0 invariant failures" in out
+        assert "provisioned" in out
+
+    def test_flat_mode_probes_whole_fleet(self, capsys):
+        assert main([*self._BASE, "--tenant-mode", "flat"]) == 0
+        out = capsys.readouterr().out
+        # Flat fan-out pays at least one probe per tenant per lookup.
+        line = [l for l in out.splitlines() if "mean probes" in l][0]
+        assert float(line.split()[4]) >= 32
+
+    def test_tenants_exclusive_with_shards(self):
+        with pytest.raises(SystemExit):
+            main([*self._BASE, "--shards", "4"])
+
+    def test_churn_requires_tenants(self):
+        with pytest.raises(SystemExit):
+            main(["serve-sim", "--tenant-churn", "5"])
+
+    def test_quota_requires_tenants(self):
+        with pytest.raises(SystemExit):
+            main(["serve-sim", "--tenant-quota", "100"])

@@ -21,6 +21,15 @@ Also hosts the ``ShardedFilter.supports_deletes`` regression test: the
 flag must be recomputed from live shards, not frozen at construction,
 or a shard that loses delete support when it grows keeps advertising
 deletes it can no longer honour.
+
+The tenant-router differential (``TestTenantRouterDifferential``) runs
+the Bloofi filter-of-filters router against flat fan-out as the oracle,
+with every registry family (and the sharded/instrumented wrappings)
+injected as the per-tenant authoritative filter: after any interleaving
+of provision / deprovision / insert, the O(log N) descent and the O(N)
+scan must report the *identical* candidate set for every probe — tree
+pruning is exact with respect to the leaves, whatever filter sits
+underneath.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from repro.core.interfaces import DynamicFilter
 from repro.core.registry import FEATURE_MATRIX, make_filter
 from repro.core.serialize import dumps as filter_dumps, loads as filter_loads
 from repro.obs import InstrumentedFilter, MetricsRegistry
+from repro.serve.tenant import TenantConfig, TenantRouter
 
 
 def _factory_constructible(f) -> bool:
@@ -167,6 +177,76 @@ class TestDifferentialStatic:
         if name in SERIALIZABLE:
             clone = filter_loads(filter_dumps(filt))
             _checkpoint(clone, oracle, set(keys))
+
+
+# Tenant-fleet op sequences: provision/deprovision over a small tenant
+# universe plus inserts, so placement, splits, and lazy removals all
+# interleave with the probes.
+tenant_ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["provision", "deprovision", "insert"]),
+        st.integers(min_value=0, max_value=7),     # tenant universe
+        st.integers(min_value=0, max_value=300),   # key universe
+    ),
+    max_size=40,
+)
+
+
+@pytest.mark.parametrize("name", DIFF_NAMES)
+class TestTenantRouterDifferential:
+    """Bloofi router vs flat fan-out, over the whole filter registry.
+
+    The flat scan probes every tenant's summary leaf then its
+    authoritative filter; the router descends the interior ORs first.
+    Same leaves, same authoritative filters — the answers must be
+    bit-identical, and any key the exact oracle holds must always list
+    its owner (PRESENT is never missed, ABSENT is never wrong).
+    """
+
+    def _checkpoint(self, router, oracle, touched):
+        probes = sorted(touched) + ABSENT_PROBES
+        for key in probes:
+            tree_hits = sorted(router.query(key).tenants)
+            flat_hits = sorted(router.query_flat(key).tenants)
+            assert tree_hits == flat_hits, (
+                f"router and flat fan-out diverge on key {key}"
+            )
+            for tenant, keys in oracle.items():
+                if key in keys:
+                    assert tenant in tree_hits, (
+                        f"false negative: tenant {tenant} holds {key}"
+                    )
+        assert router.check_invariants() == []
+
+    @given(ops=tenant_ops_strategy)
+    @settings(max_examples=4, deadline=None)
+    def test_router_matches_flat_fanout(self, name, ops):
+        router = TenantRouter(
+            TenantConfig(n_trees=3, leaf_capacity=64, epsilon=0.05, seed=7,
+                         max_fanout=4, reor_interval=5),
+            filter_factory=lambda tenant: _make(name),
+        )
+        oracle: dict[int, set[int]] = {}
+        touched: set[int] = set()
+        for op, tenant, key in ops:
+            if op == "provision":
+                if tenant not in oracle:
+                    router.add_tenant(tenant)
+                    oracle[tenant] = set()
+            elif op == "deprovision":
+                if tenant in oracle:
+                    router.remove_tenant(tenant)
+                    del oracle[tenant]
+            else:  # insert
+                if tenant not in oracle:
+                    continue
+                touched.add(key)
+                try:
+                    router.insert(tenant, key)
+                except FilterFullError:
+                    continue  # summary may keep the bits: superset-safe
+                oracle[tenant].add(key)
+        self._checkpoint(router, oracle, touched)
 
 
 class _ShrinkingShard(DynamicFilter):

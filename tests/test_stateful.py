@@ -16,6 +16,7 @@ from hypothesis.stateful import (
 )
 
 from repro.apps.lsm import LSMConfig, LSMTree
+from repro.core.bloofi import BloofiConfig, BloofiTree
 from repro.filters.cuckoo import CuckooFilter
 from repro.filters.quotient import QuotientFilter
 
@@ -138,6 +139,80 @@ class LSMMachine(RuleBasedStateMachine):
         assert self.tree.range_query(lo, hi) == dict(sorted(expected.items()))
 
 
+class BloofiMachine(RuleBasedStateMachine):
+    """Bloofi tree maintenance vs an exact tenant->keys model.
+
+    Random interleavings of add-tenant / remove-tenant / insert / query
+    / full re-OR, with the two fleet-safety invariants audited after
+    *every* step: a key the model holds is never answered falsely ABSENT
+    (its tenant is always in the candidate set), and every interior OR
+    stays a bitwise superset of its descendant leaves — the property
+    that makes pruning safe.  Splits, merges, root growth/collapse, and
+    lazy-removal staleness all happen along the way; none may bend
+    either invariant.
+    """
+
+    def __init__(self):
+        super().__init__()
+        # Tight fanout so splits/merges fire within hypothesis-sized
+        # runs; short reor_interval so automatic re-ORs interleave too.
+        self.tree = BloofiTree(BloofiConfig(
+            leaf_capacity=32, epsilon=0.05, seed=5, max_fanout=4,
+            reor_interval=6,
+        ))
+        self.model: dict[int, set[int]] = {}
+        self.next_tenant = 0
+
+    @rule()
+    def add_tenant(self):
+        tenant = self.next_tenant
+        self.next_tenant += 1
+        self.tree.add_tenant(tenant)
+        self.model[tenant] = set()
+
+    @rule(data=st.data())
+    def remove_tenant(self, data):
+        if not self.model:
+            return
+        tenant = data.draw(st.sampled_from(sorted(self.model)))
+        self.tree.remove_tenant(tenant)
+        del self.model[tenant]
+
+    @rule(key=KEYS, data=st.data())
+    def insert(self, key, data):
+        if not self.model:
+            return
+        tenant = data.draw(st.sampled_from(sorted(self.model)))
+        self.tree.insert(tenant, key)
+        self.model[tenant].add(key)
+
+    @rule()
+    def reor(self):
+        self.tree.reor()
+        assert self.tree.stale_fraction() == 0.0
+
+    @rule(key=KEYS)
+    def query_includes_every_holder(self, key):
+        candidates = set(self.tree.candidates(key).tenants)
+        for tenant, keys in self.model.items():
+            if key in keys:
+                assert tenant in candidates, (
+                    f"false ABSENT: tenant {tenant} holds {key} but was pruned"
+                )
+
+    @invariant()
+    def interior_ors_superset_of_leaves(self):
+        # check_invariants() includes the superset audit at every node,
+        # leaf-depth uniformity, fanout bounds, and leaf-count caching.
+        assert self.tree.check_invariants() == []
+
+    @invariant()
+    def no_false_absent_for_any_model_key(self):
+        for tenant, keys in self.model.items():
+            for key in keys:
+                assert tenant in self.tree.candidates(key).tenants
+
+
 TestQuotientFilterMachine = QuotientFilterMachine.TestCase
 TestQuotientFilterMachine.settings = settings(
     max_examples=30, stateful_step_count=40, deadline=None
@@ -148,5 +223,9 @@ TestCuckooFilterMachine.settings = settings(
 )
 TestLSMMachine = LSMMachine.TestCase
 TestLSMMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestBloofiMachine = BloofiMachine.TestCase
+TestBloofiMachine.settings = settings(
     max_examples=25, stateful_step_count=30, deadline=None
 )
